@@ -1,0 +1,62 @@
+"""Ablation — PTB token-exchange latency (Section III.E.2).
+
+The paper argues PTB keeps working even with a pessimistic 10-cycle
+round trip.  We sweep the balancer latency {0, paper value, 10, 20}
+on an 8-core barrier-heavy workload and check that accuracy degrades
+gracefully rather than collapsing.
+"""
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.sim.cmp import run_simulation
+from repro.workloads import build_program
+
+from ..conftest import show
+from repro.analysis.report import format_table
+
+CORES = 8
+LATENCIES = (0, None, 10, 20)  # None = paper value (5 cycles at 8 cores)
+
+
+@pytest.fixture(scope="module")
+def latency_sweep():
+    prog = build_program("ocean", CORES, scale="tiny")
+    base = run_simulation(
+        CMPConfig(num_cores=CORES), prog, "none", max_cycles=150_000
+    )
+    results = {}
+    for lat in LATENCIES:
+        cfg = CMPConfig(num_cores=CORES).with_ptb(latency_override=lat)
+        r = run_simulation(cfg, prog, "ptb", ptb_policy="toall",
+                           max_cycles=150_000)
+        results[lat] = r
+    return base, results
+
+
+def test_latency_ablation(benchmark, latency_sweep):
+    base, results = benchmark.pedantic(
+        lambda: latency_sweep, rounds=1, iterations=1
+    )
+
+    aopb = {
+        lat: r.aopb_energy / base.aopb_energy for lat, r in results.items()
+    }
+
+    # A combinational balancer is the accuracy upper bound.
+    assert aopb[0] <= min(aopb[10], aopb[20]) + 0.05
+
+    # The paper's claim: even a pessimistic 10-cycle balancer still
+    # beats leaving the area untouched by a wide margin.
+    assert aopb[10] < 0.8
+    assert aopb[20] < 0.9
+
+    rows = [
+        ("paper (5cy)" if lat is None else f"{lat}cy",
+         f"{aopb[lat] * 100:.1f}")
+        for lat in LATENCIES
+    ]
+    show(format_table(
+        ["balancer latency", "AoPB % of base"],
+        rows, title="Ablation - token-exchange latency (8-core ocean)",
+    ))

@@ -1,0 +1,57 @@
+"""Ablation — balancer clustering beyond 16 cores (Section III.E.2).
+
+The paper proposes clustering the PTB load-balancer into groups of 8 or
+16 cores for larger CMPs so the round-trip latency stays bounded.  We
+verify the latency model caps at the cluster's value and that a
+clustered 32-core configuration is constructible and runnable.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.config import CMPConfig, PTBConfig
+from repro.sim.cmp import run_simulation
+from repro.workloads import build_program
+
+from ..conftest import show
+
+
+def test_cluster_latency_model(benchmark):
+    def latencies():
+        out = {}
+        for cluster in (8, 16):
+            ptb = PTBConfig(cluster_size=cluster)
+            out[cluster] = {
+                n: ptb.round_trip_latency(n) for n in (8, 16, 32, 64)
+            }
+        return out
+
+    data = benchmark(latencies)
+
+    # A 16-core cluster caps latency at 10 cycles regardless of CMP size.
+    assert data[16][32] == 10
+    assert data[16][64] == 10
+    # An 8-core cluster caps at 5 cycles.
+    assert data[8][32] == 5
+    assert data[8][64] == 5
+
+    rows = [
+        (cluster, *[data[cluster][n] for n in (8, 16, 32, 64)])
+        for cluster in sorted(data)
+    ]
+    show(format_table(
+        ["cluster size", "8c", "16c", "32c", "64c"],
+        rows, title="Ablation - clustered balancer round-trip (cycles)",
+    ))
+
+
+def test_32_core_clustered_run():
+    """A 32-core CMP with a 16-core-clustered balancer runs end to end."""
+    cfg = CMPConfig(num_cores=32).with_ptb(cluster_size=16)
+    prog = build_program("fft", 32, scale="tiny")
+    base = run_simulation(CMPConfig(num_cores=32), prog, "none",
+                          max_cycles=120_000)
+    ptb = run_simulation(cfg, prog, "ptb", ptb_policy="toall",
+                         max_cycles=120_000)
+    assert ptb.completed and base.completed
+    assert ptb.aopb_energy < base.aopb_energy

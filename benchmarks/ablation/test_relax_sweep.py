@@ -1,0 +1,54 @@
+"""Ablation — relaxation-threshold sweep (Section IV.C).
+
+The paper evaluates +10/+20/+30% relaxed AoPB thresholds: each step
+trades accuracy for energy.  We sweep the threshold on a 4-core
+workload and check the trade-off is monotone in the expected direction.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.config import CMPConfig
+from repro.sim.cmp import run_simulation
+from repro.workloads import build_program
+
+from ..conftest import show
+
+THRESHOLDS = (0.0, 0.1, 0.2, 0.3)
+
+
+@pytest.fixture(scope="module")
+def relax_sweep():
+    prog = build_program("cholesky", 4, scale="tiny")
+    base = run_simulation(CMPConfig(num_cores=4), prog, "none",
+                          max_cycles=150_000)
+    results = {}
+    for relax in THRESHOLDS:
+        cfg = CMPConfig(num_cores=4).with_ptb(relax_threshold=relax)
+        results[relax] = run_simulation(cfg, prog, "ptb",
+                                        ptb_policy="toall",
+                                        max_cycles=150_000)
+    return base, results
+
+
+def test_relax_threshold_ablation(benchmark, relax_sweep):
+    base, results = benchmark.pedantic(
+        lambda: relax_sweep, rounds=1, iterations=1
+    )
+
+    aopb = {t: r.aopb_energy / base.aopb_energy for t, r in results.items()}
+    throttled = {t: r.throttled_cycles for t, r in results.items()}
+
+    # Relaxing monotonically (weakly) reduces throttling effort...
+    assert throttled[0.0] >= throttled[0.1] >= throttled[0.2] >= throttled[0.3]
+    # ...and costs accuracy relative to strict PTB.
+    assert aopb[0.3] >= aopb[0.0] - 0.02
+
+    rows = [
+        (f"+{int(t * 100)}%", f"{100 * aopb[t]:.1f}", throttled[t])
+        for t in THRESHOLDS
+    ]
+    show(format_table(
+        ["relax threshold", "AoPB % of base", "throttled cycles"],
+        rows, title="Ablation - relaxation threshold (4-core cholesky)",
+    ))

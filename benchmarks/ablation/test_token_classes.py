@@ -1,0 +1,55 @@
+"""Ablation — K-means token-class count (Section III.B).
+
+The paper claims 8 base-power groups keep token accounting within 1%
+of exact joule accounting.  We sweep the class count and measure the
+quantization error on a SPECint-like calibration population.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.isa.instructions import BASE_ENERGY, Kind
+from repro.isa.kmeans import calibrate_token_classes
+from repro.power.model import TOKEN_UNIT_EU
+
+from ..conftest import show
+
+
+def calibration_sample(n=30_000, seed=11):
+    rng = np.random.default_rng(seed)
+    kinds = list(Kind)
+    weights = np.array([42, 3, 2, 1, 24, 11, 15, 1, 1], dtype=float)
+    weights /= weights.sum()
+    chosen = rng.choice(len(kinds), n, p=weights)
+    base = np.array([BASE_ENERGY[kinds[i]] for i in chosen])
+    return np.clip(base * rng.normal(1.0, 0.12, n), 0.4, None)
+
+
+def sweep_classes():
+    sample = calibration_sample()
+    errors = {}
+    for k in (1, 2, 4, 8, 16):
+        cmap = calibrate_token_classes(sample, k=k, token_unit=TOKEN_UNIT_EU)
+        errors[k] = cmap.quantization_error(sample, token_unit=TOKEN_UNIT_EU)
+    return errors
+
+
+def test_token_class_ablation(benchmark):
+    errors = benchmark.pedantic(sweep_classes, rounds=1, iterations=1)
+
+    # The paper's operating point: 8 classes -> < 1% error.
+    assert errors[8] < 0.01
+
+    # Coarser quantization is monotonically (weakly) worse.
+    assert errors[1] >= errors[2] >= errors[4] - 1e-9
+    assert errors[4] >= errors[8] - 1e-9
+
+    # One class is a terrible power proxy, justifying the table at all.
+    assert errors[1] > 5 * max(errors[8], 1e-6)
+
+    show(format_table(
+        ["k-means classes", "accounting error %"],
+        [(k, f"{100 * e:.3f}") for k, e in sorted(errors.items())],
+        title="Ablation - token classes vs accounting error",
+    ))

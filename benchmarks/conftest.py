@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper through the
+cached :class:`ExperimentRunner`.  The first execution populates the
+on-disk cache (minutes for the big sweeps); later executions replay
+from cache in milliseconds.  Set ``REPRO_SCALE=tiny`` for a quick
+smoke pass that re-simulates everything from scratch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+def show(text: str) -> None:
+    """Print a regenerated table under ``pytest -s``."""
+    print()
+    print(text)

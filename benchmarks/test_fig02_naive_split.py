@@ -1,0 +1,48 @@
+"""Figure 2 — naive equal-split DVFS/DFS/2level at 16 cores, 50% budget.
+
+Paper shape: the average AoPB stays high (the naive split cannot adapt
+to parallel workloads); sync-heavy applications (ocean, radix) are the
+worst cases, while the contention-free PARSEC codes are handled well;
+DVFS saves energy, DFS does not.
+"""
+
+from repro.analysis import fig2_naive_split, format_metric_grid
+
+from .conftest import show
+
+
+def test_fig02_naive_split(benchmark, runner):
+    data = benchmark.pedantic(
+        fig2_naive_split, args=(runner,), rounds=1, iterations=1
+    )
+    avg = data["Avg."]
+
+    # The naive split leaves most of the over-budget area in place.
+    assert avg["dvfs"]["aopb_pct"] > 40.0
+    assert avg["dfs"]["aopb_pct"] > 40.0
+    assert avg["2level"]["aopb_pct"] > 30.0
+
+    # DVFS saves energy on average; DFS saves less (no voltage drop).
+    assert avg["dvfs"]["energy_pct"] < avg["dfs"]["energy_pct"] + 0.5
+
+    # Sync-heavy codes are among the worst AoPB cases (paper: 70-80%).
+    for bench in ("ocean", "radix"):
+        assert data[bench]["dvfs"]["aopb_pct"] > 60.0
+
+    # Contention-free PARSEC codes are handled better than the sync-
+    # heavy SPLASH-2 codes by at least one naive technique (paper:
+    # "particular benchmarks report a reduced AoPB ... Blackscholes,
+    # Swaptions and x264").
+    best_blacksc = min(
+        data["blackscholes"][t]["aopb_pct"] for t in ("dvfs", "dfs", "2level")
+    )
+    assert best_blacksc < data["ocean"]["dvfs"]["aopb_pct"]
+
+    show(format_metric_grid(
+        data, "aopb_pct",
+        title="Figure 2 (right) - normalized AoPB %, naive split, 16 cores",
+    ))
+    show(format_metric_grid(
+        data, "energy_pct",
+        title="Figure 2 (left) - normalized energy %, naive split, 16 cores",
+    ))

@@ -1,0 +1,44 @@
+"""Figure 3 — execution-time breakdown for 2/4/8/16 cores.
+
+Paper shape: spinning time grows with the core count; Unstructured and
+Fluidanimate are lock-acquisition-bound; Cholesky, Blackscholes,
+Swaptions and x264 have essentially no lock/barrier contention;
+Ocean/Radix are barrier-heavy.
+"""
+
+from repro.analysis import fig3_time_breakdown, format_breakdown
+
+from .conftest import show
+
+
+def test_fig03_time_breakdown(benchmark, runner):
+    data = benchmark.pedantic(
+        fig3_time_breakdown, args=(runner,), rounds=1, iterations=1
+    )
+
+    def spin_frac(bench, cores):
+        f = data[bench][cores]
+        return f["lock_acq"] + f["lock_rel"] + f["barrier"]
+
+    # Spin time grows with core count for the sync-heavy codes.
+    for bench in ("ocean", "radix", "unstructured", "barnes", "fft"):
+        assert spin_frac(bench, 16) > spin_frac(bench, 2)
+
+    # Lock-bound applications (paper: Unstructured/Fluidanimate spend
+    # significant time in Lock-Acq).
+    for bench in ("unstructured", "fluidanimate", "raytrace"):
+        assert data[bench][16]["lock_acq"] > 0.20
+
+    # Contention-free applications stay busy even at 16 cores.
+    for bench in ("blackscholes", "swaptions", "x264", "cholesky"):
+        assert data[bench][16]["busy"] > 0.60
+        assert data[bench][16]["lock_acq"] < 0.15
+
+    # Barrier-heavy applications.
+    for bench in ("ocean", "radix"):
+        assert data[bench][16]["barrier"] > 0.30
+        assert data[bench][16]["barrier"] > data[bench][16]["lock_acq"]
+
+    show(format_breakdown(
+        data, title="Figure 3 - execution-time breakdown (fractions)"
+    ))

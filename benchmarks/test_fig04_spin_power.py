@@ -1,0 +1,41 @@
+"""Figure 4 — spinlock/barrier power as a fraction of total power.
+
+Paper shape: spin power grows with the core count and averages around
+10% for the 16-core CMP — enough to be worth harvesting, not enough on
+its own to meet a 50% budget (the paper's argument for needing PTB).
+"""
+
+from repro.analysis import fig4_spin_power, format_spin_power
+from repro.workloads import benchmark_names
+
+from .conftest import show
+
+
+def test_fig04_spin_power(benchmark, runner):
+    data = benchmark.pedantic(
+        fig4_spin_power, args=(runner,), rounds=1, iterations=1
+    )
+    avg = data["Avg."]
+
+    # Grows with core count...
+    assert avg[16] > avg[4] > 0.0
+
+    # ...averaging in the ballpark of the paper's ~10% at 16 cores
+    # (wide band: our spin loop power differs from GEMS's).
+    assert 0.03 < avg[16] < 0.35
+
+    # Spinning is a small-to-moderate slice; never the majority of the
+    # suite-average energy, which is why spin-harvesting alone cannot
+    # match a 50% budget.
+    assert avg[16] < 0.5
+
+    # Contention-free codes burn almost nothing spinning.
+    for bench in ("blackscholes", "swaptions"):
+        assert data[bench][16] < 0.10
+
+    # Lock-bound codes burn the most.
+    assert data["unstructured"][16] > avg[16]
+
+    show(format_spin_power(
+        data, title="Figure 4 - spin power / total power"
+    ))

@@ -1,0 +1,43 @@
+"""Figure 5 — the motivating 4-core example (40 W global budget)."""
+
+from repro.analysis import fig5_motivation, format_table
+
+from .conftest import show
+
+
+def test_fig05_motivation(benchmark):
+    data = benchmark(fig5_motivation)
+    rows = data["rows"]
+
+    # The paper's reading of the figure:
+    # cycles 1, 2, 4 exceed the global budget; cycle 3 does not.
+    assert [r["over_global"] for r in rows] == [True, True, False, True]
+
+    # Cycle 1: cores 3&4 over their local 10 W -> throttled naively.
+    assert rows[0]["naive_throttled"] == [2, 3]
+    # Cycle 2: only core 3 over.
+    assert rows[1]["naive_throttled"] == [2]
+    # Cycle 3: cores exceed local budgets but no mechanism applies.
+    assert rows[2]["naive_throttled"] == []
+    # Cycle 4: every core over its local budget.
+    assert rows[3]["naive_throttled"] == [0, 1, 2, 3]
+
+    # The PTB observation: in cycles 1 and 2 the under-budget cores'
+    # spare power covers the over-budget cores' need...
+    assert rows[0]["spare"] >= 0
+    assert rows[1]["spare"] > 0
+    # ...but in cycle 4 nobody has spare tokens, so all must throttle.
+    assert rows[3]["spare"] == 0
+    assert rows[3]["ptb_throttled"] == [0, 1, 2, 3]
+
+    table = [
+        (r["cycle"], str(r["powers"]), r["total"],
+         "yes" if r["over_global"] else "no",
+         str(r["naive_throttled"]), str(r["ptb_throttled"]))
+        for r in rows
+    ]
+    show(format_table(
+        ["cycle", "core powers (W)", "total", "over 40W?",
+         "naive throttles", "PTB throttles"],
+        table, title="Figure 5 - motivating example",
+    ))

@@ -1,0 +1,37 @@
+"""Figure 7 — PTB token flow as cores reach a barrier one by one.
+
+The paper's worked example: 4 cores, local budgets of 10 tokens, a
+spinning core consumes 4 and donates 6.  Effective budgets of the
+still-running cores grow 12 -> 16 -> 28 as more cores spin.
+"""
+
+from repro.analysis import fig7_barrier_token_flow
+from repro.analysis.report import format_table
+
+from .conftest import show
+
+
+def test_fig07_barrier_tokens(benchmark):
+    steps = benchmark(fig7_barrier_token_flow)
+
+    # Step (a): one spinner donates 6; each of 3 runners gets 10+2.
+    assert steps[0]["pool"] == 6
+    assert set(steps[0]["effective_budgets"].values()) == {12}
+
+    # Step (b): two spinners donate 12; each of 2 runners gets 10+6.
+    assert steps[1]["pool"] == 12
+    assert set(steps[1]["effective_budgets"].values()) == {16}
+
+    # Step (c): three spinners donate 18; the last runner gets 10+18.
+    assert steps[2]["pool"] == 18
+    assert list(steps[2]["effective_budgets"].values()) == [28]
+
+    rows = [
+        (chr(ord("a") + i), str(s["spinning"]), str(s["running"]),
+         s["pool"], str(s["effective_budgets"]))
+        for i, s in enumerate(steps)
+    ]
+    show(format_table(
+        ["step", "spinning", "running", "pool", "effective budgets"],
+        rows, title="Figure 7 - barrier token flow (paper's numbers)",
+    ))

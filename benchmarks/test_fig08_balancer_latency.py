@@ -1,0 +1,42 @@
+"""Figure 8 / Section III.E.2 — PTB balancer implementation constants.
+
+The paper's Xilinx ISE estimates: 3-cycle round trip at 4 cores, 5 at
+8, 10 at 16; ~1% power overhead for the balancer and its wires.  The
+pessimistic-latency claim (PTB still works at 10 cycles) is exercised
+by the ablation benchmarks.
+"""
+
+from repro.analysis import fig8_balancer_constants
+from repro.analysis.report import format_table
+from repro.budget.ptb import PTBLoadBalancer
+
+from .conftest import show
+
+
+def test_fig08_balancer_constants(benchmark):
+    data = benchmark(fig8_balancer_constants)
+
+    assert data[4]["round_trip_cycles"] == 3
+    assert data[8]["round_trip_cycles"] == 5
+    assert data[16]["round_trip_cycles"] == 10
+    assert all(v["power_overhead_pct"] == 1.0 for v in data.values())
+
+    # The balancer honours the latency: reports from cycle t produce
+    # grants exactly at t + latency.
+    bal = PTBLoadBalancer(4, data[4]["round_trip_cycles"])
+    outputs = []
+    for t in range(6):
+        spares = [6, 0, 0, 0] if t == 0 else [0, 0, 0, 0]
+        overs = [0, 9, 0, 0] if t == 0 else [0, 0, 0, 0]
+        outputs.append(bal.cycle(spares, overs, "toall"))
+    assert outputs[2] == [0, 0, 0, 0]
+    assert outputs[3] == [0, 6, 0, 0]
+
+    rows = [
+        (n, v["round_trip_cycles"], f"{v['power_overhead_pct']:.0f}%")
+        for n, v in sorted(data.items())
+    ]
+    show(format_table(
+        ["cores", "round-trip cycles", "power overhead"],
+        rows, title="Figure 8 - balancer latency/overhead",
+    ))

@@ -1,0 +1,47 @@
+"""Figure 9 — energy & AoPB for 2/4/8/16 cores x {ToOne, ToAll}.
+
+Paper shape: PTB+2level pushes the average AoPB far below every other
+technique at every core count (8-10% at 16 cores in the paper, versus
+>= 65% for DVFS/DFS) at the cost of a small energy increase (~3%);
+ToAll edges out ToOne on average.
+"""
+
+import pytest
+
+from repro.analysis import fig9_core_policy_sweep, format_table
+
+from .conftest import show
+
+
+def test_fig09_core_sweep(benchmark, runner):
+    data = benchmark.pedantic(
+        fig9_core_policy_sweep, args=(runner,), rounds=1, iterations=1
+    )
+
+    for col, agg in data.items():
+        # PTB is the most accurate technique in every column group.
+        others = [agg[t]["aopb_pct"] for t in ("dvfs", "dfs", "2level")]
+        assert agg["ptb"]["aopb_pct"] < min(others), col
+        # By a wide margin (paper: 8% vs >= 65%).
+        assert agg["ptb"]["aopb_pct"] < 0.6 * min(others), col
+        # PTB's energy cost stays small (paper: ~+3%).
+        assert agg["ptb"]["energy_pct"] < 6.0, col
+
+    # ToAll is at least as accurate as ToOne on the 16-core average.
+    assert (
+        data["16Core_Toall"]["ptb"]["aopb_pct"]
+        <= data["16Core_Toone"]["ptb"]["aopb_pct"] + 1.0
+    )
+
+    # DVFS saves energy on average (paper: ~-6%).
+    assert data["16Core_Toall"]["dvfs"]["energy_pct"] < 0.0
+
+    rows = []
+    for col, agg in data.items():
+        for tech, m in agg.items():
+            rows.append((col, tech, round(m["energy_pct"], 1),
+                         round(m["aopb_pct"], 1)))
+    show(format_table(
+        ["column", "technique", "energy %", "AoPB %"],
+        rows, title="Figure 9 - core-count x policy sweep (suite averages)",
+    ))

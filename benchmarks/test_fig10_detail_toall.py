@@ -1,0 +1,46 @@
+"""Figure 10 — per-benchmark energy & AoPB, 16 cores, ToAll policy.
+
+Paper shape: benchmarks that were hopeless under the naive split
+(Ocean, Barnes at ~70% AoPB) drop to near-perfect accuracy once PTB
+redistributes the spinners' tokens.
+"""
+
+from repro.analysis import fig10_detail_toall, format_metric_grid
+
+from .conftest import show
+
+
+def test_fig10_detail_toall(benchmark, runner):
+    data = benchmark.pedantic(
+        fig10_detail_toall, args=(runner,), rounds=1, iterations=1
+    )
+    avg = data["Avg."]
+
+    # PTB is the most accurate on the suite average...
+    assert avg["ptb"]["aopb_pct"] < avg["2level"]["aopb_pct"]
+    assert avg["ptb"]["aopb_pct"] < avg["dvfs"]["aopb_pct"]
+    # ...with a small energy cost (paper: +3%).
+    assert -2.0 < avg["ptb"]["energy_pct"] < 6.0
+
+    # The paper's headline cases: ocean/barnes improve dramatically
+    # versus their naive-split AoPB.
+    for bench in ("ocean", "barnes"):
+        assert (
+            data[bench]["ptb"]["aopb_pct"]
+            < 0.6 * data[bench]["dvfs"]["aopb_pct"]
+        )
+
+    # PTB helps every benchmark relative to plain DVFS accuracy.
+    for bench, row in data.items():
+        if bench == "Avg.":
+            continue
+        assert row["ptb"]["aopb_pct"] <= row["dvfs"]["aopb_pct"] + 8.0, bench
+
+    show(format_metric_grid(
+        data, "aopb_pct",
+        title="Figure 10 (right) - AoPB %, 16 cores, ToAll",
+    ))
+    show(format_metric_grid(
+        data, "energy_pct",
+        title="Figure 10 (left) - energy %, 16 cores, ToAll",
+    ))

@@ -1,0 +1,36 @@
+"""Figure 11 — per-benchmark energy & AoPB, 16 cores, ToOne policy."""
+
+from repro.analysis import fig11_detail_toone, format_metric_grid
+
+from .conftest import show
+
+
+def test_fig11_detail_toone(benchmark, runner):
+    data = benchmark.pedantic(
+        fig11_detail_toone, args=(runner,), rounds=1, iterations=1
+    )
+    avg = data["Avg."]
+
+    # ToOne is still far more accurate than the naive techniques...
+    assert avg["ptb"]["aopb_pct"] < avg["dvfs"]["aopb_pct"]
+    assert avg["ptb"]["aopb_pct"] < avg["2level"]["aopb_pct"]
+    assert avg["ptb"]["energy_pct"] < 6.0
+
+    # ...and concentrating tokens particularly benefits the lock-bound
+    # codes whose critical sections gate everyone else (paper:
+    # Unstructured/Waternsq "work better when the extra power is given
+    # to a single core").
+    for bench in ("unstructured", "waternsq"):
+        assert (
+            data[bench]["ptb"]["aopb_pct"]
+            < data[bench]["2level"]["aopb_pct"]
+        )
+
+    show(format_metric_grid(
+        data, "aopb_pct",
+        title="Figure 11 (right) - AoPB %, 16 cores, ToOne",
+    ))
+    show(format_metric_grid(
+        data, "energy_pct",
+        title="Figure 11 (left) - energy %, 16 cores, ToOne",
+    ))

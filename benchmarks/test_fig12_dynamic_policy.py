@@ -1,0 +1,49 @@
+"""Figure 12 — the dynamic policy selector (ToOne under lock spinning,
+ToAll under barrier spinning).
+
+Paper shape: the dynamic selector tracks the better static policy per
+application, landing at (or near) the best of both on the suite
+average.
+"""
+
+from repro.analysis import (
+    fig10_detail_toall,
+    fig11_detail_toone,
+    fig12_dynamic_policy,
+    format_metric_grid,
+)
+
+from .conftest import show
+
+
+def test_fig12_dynamic_policy(benchmark, runner):
+    data = benchmark.pedantic(
+        fig12_dynamic_policy, args=(runner,), rounds=1, iterations=1
+    )
+    toall = fig10_detail_toall(runner)
+    toone = fig11_detail_toone(runner)
+
+    avg_dyn = data["Avg."]["ptb"]["aopb_pct"]
+    avg_toall = toall["Avg."]["ptb"]["aopb_pct"]
+    avg_toone = toone["Avg."]["ptb"]["aopb_pct"]
+
+    # Dynamic lands between the static policies, close to the best
+    # (paper: strictly best; we allow a small tolerance).
+    assert avg_dyn <= max(avg_toall, avg_toone)
+    assert avg_dyn <= min(avg_toall, avg_toone) + 5.0
+
+    # And remains far more accurate than every naive technique.
+    assert avg_dyn < data["Avg."]["dvfs"]["aopb_pct"]
+    assert avg_dyn < data["Avg."]["2level"]["aopb_pct"]
+
+    # Energy close to the base case (paper: ~+2%).
+    assert -2.0 < data["Avg."]["ptb"]["energy_pct"] < 5.0
+
+    show(format_metric_grid(
+        data, "aopb_pct",
+        title="Figure 12 (right) - AoPB %, 16 cores, dynamic selector",
+    ))
+    show(format_metric_grid(
+        data, "energy_pct",
+        title="Figure 12 (left) - energy %, 16 cores, dynamic selector",
+    ))

@@ -1,0 +1,36 @@
+"""Figure 13 — performance slowdown under PTB (dynamic selector).
+
+Paper shape: average slowdown of a few percent (close to DVFS) with
+individual applications up to ~15%; some applications speed up
+slightly (negative bars exist in the paper's figure too).
+"""
+
+from repro.analysis import fig13_performance, format_table
+
+from .conftest import show
+
+
+def test_fig13_performance(benchmark, runner):
+    data = benchmark.pedantic(
+        fig13_performance, args=(runner,), rounds=1, iterations=1
+    )
+
+    # Average slowdown is small (paper: ~+2%).
+    assert data["Avg."] < 8.0
+
+    # No application collapses (paper's worst case ~+17%).
+    worst = max(v for k, v in data.items() if k != "Avg.")
+    assert worst < 25.0
+
+    # The contention-free codes bear the brunt (they are the ones whose
+    # busy power actually exceeds the budget), while sync-heavy codes
+    # barely slow down.
+    assert data["unstructured"] < 5.0
+    assert data["raytrace"] < 5.0
+
+    rows = sorted(data.items(), key=lambda kv: kv[0] == "Avg.")
+    show(format_table(
+        ["benchmark", "slowdown %"],
+        [(k, round(v, 1)) for k, v in rows],
+        title="Figure 13 - PTB (dynamic) slowdown, 16 cores",
+    ))

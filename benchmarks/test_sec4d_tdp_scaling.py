@@ -1,0 +1,63 @@
+"""Section IV.D — accuracy determines how many cores fit a fixed TDP.
+
+Paper arithmetic: a 100 W, 16-core CMP at a 50% budget could ideally
+host 32 cores.  With each technique's budget-matching error: DVFS (65%)
+-> 19 cores, plain 2level (40%) -> 22, PTB (<10%) -> 29.  We verify the
+arithmetic against the paper's numbers AND against our own measured
+AoPB errors.
+"""
+
+from repro.analysis import (
+    PAPER_CORE_COUNTS,
+    cores_under_tdp,
+    fig9_core_policy_sweep,
+    format_table,
+    sec4d_table,
+)
+
+from .conftest import show
+
+
+def test_sec4d_tdp_scaling(benchmark, runner):
+    # Measured errors from our 16-core ToAll sweep.
+    sweep = fig9_core_policy_sweep(runner, core_counts=(16,),
+                                   policies=("toall",))
+    agg = sweep["16Core_Toall"]
+    measured = {
+        "dvfs": agg["dvfs"]["aopb_pct"] / 100.0,
+        "2level": agg["2level"]["aopb_pct"] / 100.0,
+        "ptb": agg["ptb"]["aopb_pct"] / 100.0,
+    }
+    table = benchmark.pedantic(
+        sec4d_table, args=(measured,), rounds=1, iterations=1
+    )
+
+    # Paper's arithmetic reproduces exactly.
+    for tech, cores in PAPER_CORE_COUNTS.items():
+        assert table[tech]["paper_cores"] == cores
+    assert table["ideal"]["paper_cores"] == 32
+    assert cores_under_tdp(0.0) == 32
+
+    # Our measured ordering preserves the paper's conclusion: higher
+    # accuracy -> more cores under the same TDP.
+    assert (
+        table["ptb"]["measured_cores"]
+        >= table["2level"]["measured_cores"]
+        >= table["dvfs"]["measured_cores"]
+    )
+    # PTB's accuracy buys a significant number of extra cores.
+    assert table["ptb"]["measured_cores"] - table["dvfs"]["measured_cores"] >= 4
+
+    rows = []
+    for tech, row in table.items():
+        rows.append((
+            tech,
+            f"{row['paper_error']:.2f}",
+            row["paper_cores"],
+            f"{row.get('measured_error', float('nan')):.2f}",
+            row.get("measured_cores", "-"),
+        ))
+    show(format_table(
+        ["technique", "paper err", "paper cores", "our err", "our cores"],
+        rows, title="Section IV.D - cores under a 100 W TDP",
+    ))

@@ -1,0 +1,20 @@
+"""Table 1 — the simulated CMP configuration."""
+
+from repro.analysis import table1_configuration
+from repro.config import DEFAULT_CONFIG
+
+from .conftest import show
+
+
+def test_table1_configuration(benchmark):
+    text = benchmark(table1_configuration, DEFAULT_CONFIG)
+    # Every Table 1 row is present.
+    for fragment in (
+        "32 nanometres", "3000 MHz", "0.9 V",
+        "128 entries + 64 Load Store Queue", "4 inst/cycle",
+        "6 Int Alu", "14 stages", "16 bit Gshare",
+        "MOESI", "300 Cycles", "64KB, 2-way", "1MB/core, 4-way",
+        "2D mesh", "4 cycles", "4 bytes", "1 flit / cycle",
+    ):
+        assert fragment in text
+    show(text)

@@ -1,0 +1,17 @@
+"""Table 2 — evaluated benchmarks and input working sets."""
+
+from repro.analysis import format_table, table2_benchmarks
+
+from .conftest import show
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark(table2_benchmarks)
+    assert len(rows) == 14
+    suites = {suite for suite, _, _ in rows}
+    assert suites == {"splash2", "parsec"}
+    by_name = {name: (suite, size) for suite, name, size in rows}
+    assert by_name["radix"] == ("splash2", "1M keys, 1024 radix")
+    assert by_name["fluidanimate"] == ("parsec", "simsmall")
+    show(format_table(["suite", "benchmark", "size"], rows,
+                      title="Table 2 - benchmarks and working sets"))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Spin detection: BCT state comparison vs PTB's power-pattern signature.
+
+Runs a 4-core workload where one core waits at a barrier, feeds the
+committed-instruction stream to the BCT detector of Li et al. [12] and
+the per-cycle token consumption to the paper's power-pattern detector
+(Figure 6), and reports when each flags the spinning core.
+
+Run:  python examples/spin_detection.py
+"""
+
+from repro.config import CMPConfig
+from repro.core.spin import BCTSpinDetector, PowerPatternSpinDetector
+from repro.power.model import EnergyModel
+from repro.core.pipeline import SyncPhase
+from repro.sim.cmp import CMPSimulator
+from repro.trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    ParallelProgram,
+    ThreadProgram,
+)
+
+
+def main() -> None:
+    cores = 4
+    # Core 0 finishes early and spins; core 3 works 8x longer.
+    threads = tuple(
+        ThreadProgram(
+            thread_id=tid,
+            phases=(
+                ComputePhase(1_000 if tid == 0 else 8_000,
+                             footprint_lines=128, ilp=0.95),
+                BarrierPhase(0),
+            ),
+        )
+        for tid in range(cores)
+    )
+    program = ParallelProgram("spin-demo", threads)
+    cfg = CMPConfig(num_cores=cores)
+    sim = CMPSimulator(cfg, program, technique="none")
+    energy = EnergyModel(cfg)
+
+    # A spinning core's token rate is far below a busy core's (~65 vs
+    # ~220 tokens/cycle with the default calibration); threshold between.
+    power_det = PowerPatternSpinDetector(
+        window=48, mean_threshold=110.0, spread_threshold=80.0
+    )
+
+    core0 = sim.cores[0]
+    truth_spin_at = None
+    power_detected_at = None
+
+    for cycle in range(60_000):
+        done = sum(c.done for c in sim.cores)
+        if done == cores:
+            break
+        for c in sim.cores:
+            if not c.done:
+                c.step(cycle)
+        if core0.sync_phase == SyncPhase.BARRIER and truth_spin_at is None:
+            truth_spin_at = cycle
+        tokens = core0.accountant.consumed
+        if power_det.on_cycle(tokens) and power_detected_at is None:
+            power_detected_at = cycle
+
+    print("Ground truth: core 0 entered the barrier wait at cycle "
+          f"{truth_spin_at}")
+    if power_detected_at is not None and truth_spin_at is not None:
+        lag = power_detected_at - truth_spin_at
+        verdict = f"lag: {lag} cycles" if lag >= 0 else \
+            "fired during a low-power compute stretch before the spin"
+        print(f"Power-pattern detector flagged it at cycle "
+              f"{power_detected_at} ({verdict})")
+    else:
+        print("Power-pattern detector did not trigger (tune thresholds)")
+
+    # BCT detector on a synthetic committed-instruction stream: the
+    # canonical spin loop is load - compare - backward branch with no
+    # stores and an unchanging observed address.
+    bct = BCTSpinDetector(identical_intervals=3)
+    iterations_needed = 0
+    while not bct.spinning:
+        iterations_needed += 1
+        bct.on_commit(0x5000, False, False, 0x9000)
+        bct.on_commit(0x5004, False, False, 0)
+        bct.on_commit(0x5008, True, False, 0)
+    print(f"BCT detector needs {iterations_needed} identical loop "
+          f"iterations (threshold: 3 matching BCT intervals)")
+    print("\nThe paper's point: the power signature detects spinning "
+          "without inspecting instructions at all - PTB gets it for free.")
+
+
+if __name__ == "__main__":
+    main()

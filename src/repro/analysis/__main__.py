@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — regenerate the paper's figures."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

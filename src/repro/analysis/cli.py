@@ -1,0 +1,247 @@
+"""Command-line report generator.
+
+Regenerates every table and figure of the paper as plain-text reports::
+
+    python -m repro.analysis            # all figures -> ./results/
+    python -m repro.analysis fig9 fig14 # a subset
+    python -m repro.analysis --scale tiny --out /tmp/r  # quick pass
+
+Results come from the same cached :class:`ExperimentRunner` the
+benchmark harness uses, so a warm cache renders everything in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict
+
+from . import experiments as ex
+from .report import (
+    format_breakdown,
+    format_metric_grid,
+    format_spin_power,
+    format_table,
+)
+from .runner import ExperimentRunner
+from .tdp import sec4d_table
+
+
+def _render_table1(runner) -> str:
+    return ex.table1_configuration()
+
+
+def _render_table2(runner) -> str:
+    return format_table(
+        ["suite", "benchmark", "size"], ex.table2_benchmarks(),
+        title="Table 2 - benchmarks and working sets",
+    )
+
+
+def _render_fig2(runner) -> str:
+    data = ex.fig2_naive_split(runner)
+    return "\n\n".join([
+        format_metric_grid(data, "aopb_pct",
+                           title="Figure 2 (right) - AoPB %, naive split"),
+        format_metric_grid(data, "energy_pct",
+                           title="Figure 2 (left) - energy %, naive split"),
+    ])
+
+
+def _render_fig3(runner) -> str:
+    return format_breakdown(
+        ex.fig3_time_breakdown(runner),
+        title="Figure 3 - execution-time breakdown",
+    )
+
+
+def _render_fig4(runner) -> str:
+    return format_spin_power(
+        ex.fig4_spin_power(runner),
+        title="Figure 4 - spin power / total power",
+    )
+
+
+def _render_fig5(runner) -> str:
+    data = ex.fig5_motivation()
+    rows = [
+        (r["cycle"], str(r["powers"]), r["total"],
+         "yes" if r["over_global"] else "no", str(r["naive_throttled"]))
+        for r in data["rows"]
+    ]
+    return format_table(
+        ["cycle", "powers", "total", "over 40W", "naive throttles"],
+        rows, title="Figure 5 - motivating example",
+    )
+
+
+def _render_fig6(runner) -> str:
+    d = ex.fig6_spin_power_trace(runner)
+    rows = [(k, f"{v:.3f}" if isinstance(v, float) else v)
+            for k, v in d.items()]
+    return format_table(["metric", "value"], rows,
+                        title="Figure 6 - spin power signature")
+
+
+def _render_fig7(runner) -> str:
+    rows = [
+        (i, str(s["spinning"]), s["pool"], str(s["effective_budgets"]))
+        for i, s in enumerate(ex.fig7_barrier_token_flow())
+    ]
+    return format_table(["step", "spinning", "pool", "budgets"], rows,
+                        title="Figure 7 - barrier token flow")
+
+
+def _render_fig8(runner) -> str:
+    data = ex.fig8_balancer_constants()
+    rows = [(n, v["round_trip_cycles"], v["power_overhead_pct"])
+            for n, v in sorted(data.items())]
+    return format_table(["cores", "round trip (cy)", "overhead %"], rows,
+                        title="Figure 8 - balancer constants")
+
+
+def _sweep_rows(data) -> list:
+    rows = []
+    for col, agg in data.items():
+        for tech, m in agg.items():
+            rows.append((col, tech, round(m["energy_pct"], 1),
+                         round(m["aopb_pct"], 1)))
+    return rows
+
+
+def _render_fig9(runner) -> str:
+    return format_table(
+        ["column", "technique", "energy %", "AoPB %"],
+        _sweep_rows(ex.fig9_core_policy_sweep(runner)),
+        title="Figure 9 - core-count x policy sweep",
+    )
+
+
+def _render_fig10(runner) -> str:
+    data = ex.fig10_detail_toall(runner)
+    return "\n\n".join([
+        format_metric_grid(data, "aopb_pct",
+                           title="Figure 10 - AoPB %, 16c ToAll"),
+        format_metric_grid(data, "energy_pct",
+                           title="Figure 10 - energy %, 16c ToAll"),
+    ])
+
+
+def _render_fig11(runner) -> str:
+    data = ex.fig11_detail_toone(runner)
+    return "\n\n".join([
+        format_metric_grid(data, "aopb_pct",
+                           title="Figure 11 - AoPB %, 16c ToOne"),
+        format_metric_grid(data, "energy_pct",
+                           title="Figure 11 - energy %, 16c ToOne"),
+    ])
+
+
+def _render_fig12(runner) -> str:
+    data = ex.fig12_dynamic_policy(runner)
+    return "\n\n".join([
+        format_metric_grid(data, "aopb_pct",
+                           title="Figure 12 - AoPB %, dynamic selector"),
+        format_metric_grid(data, "energy_pct",
+                           title="Figure 12 - energy %, dynamic selector"),
+    ])
+
+
+def _render_fig13(runner) -> str:
+    data = ex.fig13_performance(runner)
+    rows = [(k, round(v, 1)) for k, v in data.items()]
+    return format_table(["benchmark", "slowdown %"], rows,
+                        title="Figure 13 - PTB (dynamic) slowdown")
+
+
+def _render_fig14(runner) -> str:
+    return format_table(
+        ["column", "technique", "energy %", "AoPB %"],
+        _sweep_rows(ex.fig14_relaxed_ptb(runner)),
+        title="Figure 14 - strict vs relaxed PTB",
+    )
+
+
+def _render_sec4d(runner) -> str:
+    sweep = ex.fig9_core_policy_sweep(runner, core_counts=(16,),
+                                      policies=("toall",))
+    agg = sweep["16Core_Toall"]
+    measured = {
+        t: agg[t]["aopb_pct"] / 100.0 for t in ("dvfs", "2level", "ptb")
+    }
+    table = sec4d_table(measured)
+    rows = [
+        (t, row.get("paper_error", ""), row.get("paper_cores", ""),
+         round(row.get("measured_error", float("nan")), 2)
+         if "measured_error" in row else "-",
+         row.get("measured_cores", "-"))
+        for t, row in table.items()
+    ]
+    return format_table(
+        ["technique", "paper err", "paper cores", "our err", "our cores"],
+        rows, title="Section IV.D - cores under a 100 W TDP",
+    )
+
+
+RENDERERS: Dict[str, Callable] = {
+    "table1": _render_table1,
+    "table2": _render_table2,
+    "fig2": _render_fig2,
+    "fig3": _render_fig3,
+    "fig4": _render_fig4,
+    "fig5": _render_fig5,
+    "fig6": _render_fig6,
+    "fig7": _render_fig7,
+    "fig8": _render_fig8,
+    "fig9": _render_fig9,
+    "fig10": _render_fig10,
+    "fig11": _render_fig11,
+    "fig12": _render_fig12,
+    "fig13": _render_fig13,
+    "fig14": _render_fig14,
+    "sec4d": _render_sec4d,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("figures", nargs="*",
+                        help=f"subset to render (default: all of "
+                             f"{', '.join(RENDERERS)})")
+    parser.add_argument("--scale", default=None,
+                        help="simulation scale (tiny/small/medium/large)")
+    parser.add_argument("--out", default="results",
+                        help="output directory (default ./results)")
+    parser.add_argument("--stdout", action="store_true",
+                        help="print to stdout instead of files")
+    args = parser.parse_args(argv)
+
+    wanted = args.figures or list(RENDERERS)
+    unknown = [f for f in wanted if f not in RENDERERS]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; "
+                     f"available: {sorted(RENDERERS)}")
+
+    runner = ExperimentRunner(scale=args.scale)
+    out_dir = Path(args.out)
+    if not args.stdout:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in wanted:
+        text = RENDERERS[name](runner)
+        if args.stdout:
+            print(text)
+            print()
+        else:
+            path = out_dir / f"{name}.txt"
+            path.write_text(text + "\n")
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,443 @@
+"""Per-figure experiment definitions.
+
+One function per table/figure of the paper.  Each returns plain data
+structures (dicts keyed by benchmark / technique) that the benchmark
+harness prints and EXPERIMENTS.md records.  The mapping to the paper:
+
+========  ==========================================================
+table1    Simulated CMP configuration
+table2    Benchmarks and input working sets
+fig2      Naive equal-split DVFS/DFS/2level, 16 cores, 50% budget
+fig3      Execution-time breakdown vs core count
+fig4      Spinlock power vs core count
+fig5      Motivating per-cycle power example (4 cores, 40 W)
+fig6      Per-cycle power signature of a spinning core
+fig7      PTB token flow at a barrier (worked example)
+fig8      PTB balancer latency/overhead constants
+fig9      Energy & AoPB vs core count x {ToAll, ToOne}
+fig10/11  Per-benchmark detail at 16 cores (ToAll / ToOne)
+fig12     Dynamic policy selector detail
+fig13     Performance (slowdown) under the dynamic selector
+fig14     Relaxed (+20%) PTB vs strict PTB
+sec4d     Cores-under-TDP analysis
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..budget.ptb import PTBLoadBalancer
+from ..config import CMPConfig, DEFAULT_CONFIG
+from ..sim.results import (
+    SimResult,
+    normalized_aopb_pct,
+    normalized_energy_pct,
+    slowdown_pct,
+)
+from ..workloads import benchmark_names, table2_rows
+from .runner import ExperimentRunner
+
+#: Techniques evaluated against the naive split (Figure 2).
+NAIVE_TECHNIQUES: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("dvfs", None),
+    ("dfs", None),
+    ("2level", None),
+)
+
+#: Techniques in the PTB comparison figures (Figures 9-12).
+PTB_FIGURE_TECHNIQUES: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("dvfs", None),
+    ("dfs", None),
+    ("2level", None),
+    ("ptb", None),  # policy filled per figure
+)
+
+CORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+# --------------------------------------------------------------------- #
+# tables                                                                 #
+# --------------------------------------------------------------------- #
+
+def table1_configuration(cfg: CMPConfig = DEFAULT_CONFIG) -> str:
+    """Table 1: the simulated CMP configuration."""
+    return cfg.describe()
+
+
+def table2_benchmarks() -> List[Tuple[str, str, str]]:
+    """Table 2: (suite, benchmark, input size) rows."""
+    return table2_rows()
+
+
+# --------------------------------------------------------------------- #
+# figure 2 — naive equal split                                           #
+# --------------------------------------------------------------------- #
+
+def fig2_naive_split(
+    runner: ExperimentRunner,
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Normalized energy and AoPB under the naive power split.
+
+    Returns ``{benchmark: {technique: {"energy_pct", "aopb_pct"}}}`` plus
+    an ``"Avg."`` row, as in Figure 2.
+    """
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sums: Dict[str, List[float]] = {t: [0.0, 0.0] for t, _ in NAIVE_TECHNIQUES}
+    for b in names:
+        base = runner.base(b, cores)
+        row: Dict[str, Dict[str, float]] = {}
+        for technique, policy in NAIVE_TECHNIQUES:
+            r = runner.run(b, cores, technique, policy)
+            e = normalized_energy_pct(r, base)
+            a = normalized_aopb_pct(r, base)
+            row[technique] = {"energy_pct": e, "aopb_pct": a}
+            sums[technique][0] += e
+            sums[technique][1] += a
+        out[b] = row
+    out["Avg."] = {
+        t: {"energy_pct": s[0] / len(names), "aopb_pct": s[1] / len(names)}
+        for t, s in sums.items()
+    }
+    return out
+
+
+# --------------------------------------------------------------------- #
+# figures 3 & 4 — breakdown and spin power vs cores                      #
+# --------------------------------------------------------------------- #
+
+def fig3_time_breakdown(
+    runner: ExperimentRunner,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Execution-time fractions per sync phase vs core count."""
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for b in names:
+        out[b] = {}
+        for n in core_counts:
+            out[b][n] = runner.base(b, n).phase_fractions()
+    return out
+
+
+def fig4_spin_power(
+    runner: ExperimentRunner,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Spin power as a fraction of total power vs core count."""
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, Dict[int, float]] = {}
+    for b in names:
+        out[b] = {
+            n: runner.base(b, n).spin_fraction_of_energy for n in core_counts
+        }
+    avg = {
+        n: sum(out[b][n] for b in names) / len(names) for n in core_counts
+    }
+    out["Avg."] = avg
+    return out
+
+
+# --------------------------------------------------------------------- #
+# figures 5-8 — worked examples and constants                            #
+# --------------------------------------------------------------------- #
+
+def fig5_motivation() -> Dict[str, object]:
+    """The 4-core, 40 W motivating example of Figure 5.
+
+    The paper's numbers: per-cycle core powers over four cycles; global
+    budget 40 W, naive local budgets 10 W.  Returns which cores would be
+    throttled naively versus with balancing.
+    """
+    # Per-cycle core powers chosen to match the paper's narration:
+    # cycle 1 - cores 3&4 over, cores 1&2 have 4+2 W spare;
+    # cycle 2 - core 3 over, cores 1&2 have 2+1 W spare;
+    # cycle 3 - cores over local shares but the CMP is under 40 W;
+    # cycle 4 - every core over its local share.
+    cycles = [
+        (6, 8, 15, 13),
+        (8, 9, 14, 10),
+        (8, 9, 11, 2),
+        (14, 13, 12, 11),
+    ]
+    global_budget = 40
+    local = global_budget / 4
+    rows = []
+    for cyc, powers in enumerate(cycles, start=1):
+        total = sum(powers)
+        over_global = total > global_budget
+        naive_throttled = [
+            i for i, p in enumerate(powers) if over_global and p > local
+        ]
+        spare = sum(max(0.0, local - p) for p in powers)
+        need = sum(max(0.0, p - local) for p in powers)
+        balanced_throttled = (
+            naive_throttled if (over_global and need > spare) else []
+        )
+        rows.append(
+            {
+                "cycle": cyc,
+                "powers": powers,
+                "total": total,
+                "over_global": over_global,
+                "naive_throttled": naive_throttled,
+                "spare": spare,
+                "need": need,
+                "ptb_throttled": balanced_throttled,
+            }
+        )
+    return {"global_budget": global_budget, "local_budget": local, "rows": rows}
+
+
+def fig6_spin_power_trace(
+    runner: ExperimentRunner,
+    benchmark: str = "ocean",
+    cores: int = 4,
+    max_cycles: int = 40_000,
+) -> Dict[str, float]:
+    """Per-cycle power signature of a core entering a spin state.
+
+    Reruns a small configuration with traces on and reports the busy
+    (pre-spin) and stable spinning power levels of the most-spinning
+    core, normalized as in Figure 6 (spin power < busy power, stable).
+    """
+    from ..sim.cmp import CMPSimulator
+    from ..workloads import build_program
+
+    cfg = CMPConfig(num_cores=cores)
+    program = build_program(benchmark, cores, scale="tiny", seed=runner.seed)
+    sim = CMPSimulator(cfg, program, technique="none",
+                       collect_traces=True, seed=runner.seed)
+    result = sim.run(max_cycles)
+    traces = result.core_power_traces
+    phase = result.phase_cycles
+    # Pick the core with the most barrier time.
+    spin_core = max(range(cores), key=lambda i: phase[i][3])
+    series = traces[:, spin_core]
+    spinning = [
+        series[t]
+        for t in range(len(series))
+        if series[t] < series.mean()
+    ]
+    busy = [s for s in series if s >= series.mean()]
+    import numpy as np
+
+    spin_level = float(np.mean(spinning)) if spinning else 0.0
+    busy_level = float(np.mean(busy)) if busy else 0.0
+    return {
+        "core": spin_core,
+        "busy_power": busy_level,
+        "spin_power": spin_level,
+        "spin_to_busy_ratio": spin_level / busy_level if busy_level else 0.0,
+        "spin_std": float(np.std(spinning)) if spinning else 0.0,
+    }
+
+
+def fig7_barrier_token_flow() -> List[Dict[str, object]]:
+    """The 4-core barrier walkthrough of Figure 7.
+
+    Local budgets are 10 tokens; a spinning core consumes 4 and donates
+    6.  As cores reach the barrier one by one, the remaining cores'
+    effective budgets grow: 12, 16, 28 — exactly the paper's numbers
+    (10+2, 10+6, 10+18).
+    """
+    steps = []
+    spinning: List[int] = []
+    for newly_spinning in (1, 2, 0):  # cores reach the barrier in turn
+        spinning.append(newly_spinning)
+        running = [c for c in range(4) if c not in spinning]
+        pool = 6 * len(spinning)
+        overs = [0, 0, 0, 0]
+        for c in running:
+            overs[c] = 1  # every running core welcomes extra tokens
+        grants = PTBLoadBalancer.distribute(pool, overs, "toall")
+        steps.append(
+            {
+                "spinning": list(spinning),
+                "running": running,
+                "pool": pool,
+                "effective_budgets": {
+                    c: 10 + grants[c] for c in running
+                },
+            }
+        )
+    return steps
+
+
+def fig8_balancer_constants(cfg: CMPConfig = DEFAULT_CONFIG) -> Dict[int, Dict[str, float]]:
+    """PTB load-balancer latency and power overhead per core count."""
+    return {
+        n: {
+            "round_trip_cycles": cfg.ptb.round_trip_latency(n),
+            "power_overhead_pct": cfg.ptb.power_overhead * 100.0,
+        }
+        for n in CORE_COUNTS
+    }
+
+
+# --------------------------------------------------------------------- #
+# figures 9-14 — the PTB evaluation                                      #
+# --------------------------------------------------------------------- #
+
+def _technique_metrics(
+    runner: ExperimentRunner,
+    benchmark: str,
+    cores: int,
+    technique: str,
+    policy: Optional[str],
+    relax: float = 0.0,
+) -> Dict[str, float]:
+    base = runner.base(benchmark, cores)
+    r = runner.run(benchmark, cores, technique, policy, relax=relax)
+    return {
+        "energy_pct": normalized_energy_pct(r, base),
+        "aopb_pct": normalized_aopb_pct(r, base),
+        "slowdown_pct": slowdown_pct(r, base),
+    }
+
+
+def fig9_core_policy_sweep(
+    runner: ExperimentRunner,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    policies: Sequence[str] = ("toone", "toall"),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Average energy & AoPB per {core count x policy} per technique.
+
+    Returns ``{"<cores>Core_<Policy>": {technique: metrics}}`` — the
+    eight column groups of Figure 9.  DVFS/DFS/2level do not depend on
+    the PTB policy; their numbers repeat across policy groups as in the
+    paper's figure.
+    """
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for policy in policies:
+        for cores in core_counts:
+            col = f"{cores}Core_{policy.capitalize()}"
+            agg: Dict[str, Dict[str, float]] = {}
+            for technique, _ in PTB_FIGURE_TECHNIQUES:
+                pol = policy if technique == "ptb" else None
+                sums = [0.0, 0.0, 0.0]
+                for b in names:
+                    m = _technique_metrics(runner, b, cores, technique, pol)
+                    sums[0] += m["energy_pct"]
+                    sums[1] += m["aopb_pct"]
+                    sums[2] += m["slowdown_pct"]
+                agg[technique] = {
+                    "energy_pct": sums[0] / len(names),
+                    "aopb_pct": sums[1] / len(names),
+                    "slowdown_pct": sums[2] / len(names),
+                }
+            out[col] = agg
+    return out
+
+
+def _detail_figure(
+    runner: ExperimentRunner,
+    policy: Optional[str],
+    cores: int,
+    benchmarks: Optional[Sequence[str]],
+    relax: float = 0.0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    sums: Dict[str, List[float]] = {}
+    for b in names:
+        row: Dict[str, Dict[str, float]] = {}
+        for technique, _ in PTB_FIGURE_TECHNIQUES:
+            pol = policy if technique == "ptb" else None
+            m = _technique_metrics(runner, b, cores, technique, pol,
+                                   relax=relax if technique == "ptb" else 0.0)
+            row[technique] = m
+            s = sums.setdefault(technique, [0.0, 0.0, 0.0])
+            s[0] += m["energy_pct"]
+            s[1] += m["aopb_pct"]
+            s[2] += m["slowdown_pct"]
+        out[b] = row
+    out["Avg."] = {
+        t: {
+            "energy_pct": s[0] / len(names),
+            "aopb_pct": s[1] / len(names),
+            "slowdown_pct": s[2] / len(names),
+        }
+        for t, s in sums.items()
+    }
+    return out
+
+
+def fig10_detail_toall(
+    runner: ExperimentRunner,
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+):
+    """Per-benchmark energy & AoPB, 16 cores, ToAll policy."""
+    return _detail_figure(runner, "toall", cores, benchmarks)
+
+
+def fig11_detail_toone(
+    runner: ExperimentRunner,
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+):
+    """Per-benchmark energy & AoPB, 16 cores, ToOne policy."""
+    return _detail_figure(runner, "toone", cores, benchmarks)
+
+
+def fig12_dynamic_policy(
+    runner: ExperimentRunner,
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+):
+    """Per-benchmark energy & AoPB with the dynamic policy selector."""
+    return _detail_figure(runner, "dynamic", cores, benchmarks)
+
+
+def fig13_performance(
+    runner: ExperimentRunner,
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Per-benchmark slowdown of PTB+2level (dynamic selector)."""
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out: Dict[str, float] = {}
+    for b in names:
+        base = runner.base(b, cores)
+        r = runner.run(b, cores, "ptb", "dynamic")
+        out[b] = slowdown_pct(r, base)
+    out["Avg."] = sum(out[b] for b in names) / len(names)
+    return out
+
+
+def fig14_relaxed_ptb(
+    runner: ExperimentRunner,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    policies: Sequence[str] = ("toone", "toall"),
+    relax: float = 0.2,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 9 plus the relaxed ("Restricted" in the figure legend)
+    PTB variant that trades accuracy for energy (Section IV.C)."""
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out = fig9_core_policy_sweep(runner, core_counts, policies, names)
+    for policy in policies:
+        for cores in core_counts:
+            col = f"{cores}Core_{policy.capitalize()}"
+            sums = [0.0, 0.0, 0.0]
+            for b in names:
+                m = _technique_metrics(
+                    runner, b, cores, "ptb", policy, relax=relax
+                )
+                sums[0] += m["energy_pct"]
+                sums[1] += m["aopb_pct"]
+                sums[2] += m["slowdown_pct"]
+            out[col]["ptb_relaxed"] = {
+                "energy_pct": sums[0] / len(names),
+                "aopb_pct": sums[1] / len(names),
+                "slowdown_pct": sums[2] / len(names),
+            }
+    return out

@@ -1,0 +1,99 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables; EXPERIMENTS.md embeds them.
+Formatting is deliberately simple (fixed-width text) so diffs between
+regenerated results stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    str_rows = []
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row {row!r} does not match {cols} headers")
+        srow = [
+            f"{v:+.1f}" if isinstance(v, float) else str(v) for v in row
+        ]
+        str_rows.append(srow)
+        for i, s in enumerate(srow):
+            widths[i] = max(widths[i], len(s))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for srow in str_rows:
+        lines.append("  ".join(s.rjust(widths[i]) for i, s in enumerate(srow)))
+    return "\n".join(lines)
+
+
+def format_metric_grid(
+    data: Mapping[str, Mapping[str, Mapping[str, float]]],
+    metric: str,
+    title: Optional[str] = None,
+    techniques: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``{row: {technique: {metric: value}}}`` as a table."""
+    rows = list(data.keys())
+    if techniques is None:
+        first = data[rows[0]]
+        techniques = list(first.keys())
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [r] + [data[r].get(t, {}).get(metric, float("nan"))
+                   for t in techniques]
+        )
+    return format_table(["benchmark"] + list(techniques), table_rows, title)
+
+
+def format_breakdown(
+    data: Mapping[str, Mapping[int, Mapping[str, float]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render the Figure 3-style execution-time breakdown."""
+    rows = []
+    for bench, per_cores in data.items():
+        for cores, fracs in per_cores.items():
+            rows.append(
+                [
+                    bench,
+                    cores,
+                    f"{100 * fracs['lock_acq']:.1f}",
+                    f"{100 * fracs['lock_rel']:.1f}",
+                    f"{100 * fracs['barrier']:.1f}",
+                    f"{100 * fracs['busy']:.1f}",
+                ]
+            )
+    return format_table(
+        ["benchmark", "cores", "lock-acq%", "lock-rel%", "barrier%", "busy%"],
+        rows,
+        title,
+    )
+
+
+def format_spin_power(
+    data: Mapping[str, Mapping[int, float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render the Figure 4-style spin-power table."""
+    core_counts = sorted(next(iter(data.values())).keys())
+    rows = [
+        [bench] + [f"{100 * data[bench][n]:.1f}" for n in core_counts]
+        for bench in data
+    ]
+    return format_table(
+        ["benchmark"] + [f"{n}c %" for n in core_counts], rows, title
+    )

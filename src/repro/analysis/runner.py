@@ -1,0 +1,152 @@
+"""Experiment runner with a persistent result cache.
+
+Every figure of the paper aggregates dozens of simulation runs, and
+several figures share runs (the base case of Figure 2 is the base case
+of Figures 9-14).  The runner memoises :class:`SimResult` objects on
+disk, keyed by the full run recipe, so regenerating all figures costs
+each distinct simulation exactly once.
+
+Set the environment variable ``REPRO_CACHE`` to relocate the cache, and
+``REPRO_SCALE`` (tiny/small/medium/large) to change the default
+simulation scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import CMPConfig
+from ..sim.cmp import CMPSimulator
+from ..sim.results import SimResult
+from ..workloads import build_program
+
+#: Bump when any model change invalidates previously cached results.
+CACHE_VERSION = 7
+
+#: Budget fraction used throughout the paper's evaluation (Section IV).
+DEFAULT_BUDGET_FRACTION = 0.5
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def default_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+class ExperimentRunner:
+    """Runs (benchmark, cores, technique, policy, ...) recipes, cached."""
+
+    def __init__(
+        self,
+        scale: Optional[str | float] = None,
+        cache_dir: Optional[Path] = None,
+        max_cycles: int = 400_000,
+        seed: int = 2011,
+        use_cache: bool = True,
+    ) -> None:
+        self.scale = scale if scale is not None else default_scale()
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.max_cycles = max_cycles
+        self.seed = seed
+        self.use_cache = use_cache
+        self._mem: Dict[tuple, SimResult] = {}
+        if self.use_cache:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _key(
+        self,
+        benchmark: str,
+        cores: int,
+        technique: str,
+        policy: Optional[str],
+        relax: float,
+        budget_fraction: Optional[float],
+    ) -> tuple:
+        return (
+            CACHE_VERSION, benchmark, cores, technique, policy, relax,
+            budget_fraction, str(self.scale), self.max_cycles, self.seed,
+        )
+
+    def _path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+        return self.cache_dir / f"run_{digest}.pkl"
+
+    # -- running ---------------------------------------------------------------
+
+    def run(
+        self,
+        benchmark: str,
+        cores: int,
+        technique: str = "none",
+        policy: Optional[str] = None,
+        relax: float = 0.0,
+        budget_fraction: Optional[float] = DEFAULT_BUDGET_FRACTION,
+    ) -> SimResult:
+        """Run one recipe (or fetch it from the cache)."""
+        key = self._key(benchmark, cores, technique, policy, relax,
+                        budget_fraction)
+        hit = self._mem.get(key)
+        if hit is not None:
+            return hit
+        if self.use_cache:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with path.open("rb") as fh:
+                        result = pickle.load(fh)
+                    self._mem[key] = result
+                    return result
+                except Exception:
+                    path.unlink(missing_ok=True)
+
+        cfg = CMPConfig(num_cores=cores)
+        if relax:
+            cfg = cfg.with_ptb(relax_threshold=relax)
+        program = build_program(benchmark, cores, scale=self.scale,
+                                seed=self.seed)
+        sim = CMPSimulator(
+            cfg, program, technique=technique,
+            budget_fraction=budget_fraction, ptb_policy=policy,
+            seed=self.seed,
+        )
+        result = sim.run(self.max_cycles)
+        self._mem[key] = result
+        if self.use_cache:
+            with self._path(key).open("wb") as fh:
+                pickle.dump(result, fh)
+        return result
+
+    def base(self, benchmark: str, cores: int) -> SimResult:
+        """The uncontrolled run all normalizations divide by."""
+        return self.run(benchmark, cores, technique="none")
+
+    # -- convenience sweeps -------------------------------------------------------
+
+    def sweep(
+        self,
+        benchmarks: Iterable[str],
+        cores: int,
+        recipes: Iterable[Tuple[str, Optional[str]]],
+        relax: float = 0.0,
+    ) -> Dict[str, Dict[Tuple[str, Optional[str]], SimResult]]:
+        """Run every (technique, policy) recipe for every benchmark."""
+        out: Dict[str, Dict[Tuple[str, Optional[str]], SimResult]] = {}
+        for b in benchmarks:
+            out[b] = {}
+            for technique, policy in recipes:
+                out[b][(technique, policy)] = self.run(
+                    b, cores, technique, policy, relax=relax
+                )
+        return out

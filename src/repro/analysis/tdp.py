@@ -1,0 +1,90 @@
+"""Section IV.D — the importance of accuracy: cores under a fixed TDP.
+
+The paper's worked example: a 16-core CMP with a 100 W TDP gives
+6.25 W/core.  Halving the per-core budget would ideally allow 32 cores
+under the same TDP — but only with *perfect* budget matching.  A
+technique whose AoPB error is ``e`` (fraction of energy left over the
+budget) effectively makes each core consume ``budget x (1 + e)``, so
+the achievable core count is ``TDP / (budget x (1 + e))``.
+
+With the paper's measured errors — DVFS 65%, plain 2level 40%, PTB
+<10% — the achievable counts are 19, 22 and 29 cores respectively.
+:func:`cores_under_tdp` reproduces the arithmetic; the benchmark
+harness feeds it our *measured* AoPB errors as well as the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TDPScenario:
+    """The Section IV.D scenario parameters."""
+
+    tdp_watts: float = 100.0
+    baseline_cores: int = 16
+    budget_fraction: float = 0.5
+
+    @property
+    def baseline_per_core(self) -> float:
+        return self.tdp_watts / self.baseline_cores
+
+    @property
+    def budget_per_core(self) -> float:
+        return self.baseline_per_core * self.budget_fraction
+
+
+def cores_under_tdp(aopb_error_fraction: float,
+                    scenario: TDPScenario = TDPScenario()) -> int:
+    """Cores that fit in the TDP given a budget-matching error.
+
+    ``aopb_error_fraction`` is the normalized AoPB expressed as a
+    fraction (0.65 for DVFS's 65%).  Perfect matching (0.0) doubles the
+    core count under a 50% budget.
+    """
+    if aopb_error_fraction < 0:
+        raise ValueError("error fraction must be >= 0")
+    effective_per_core = scenario.budget_per_core * (1.0 + aopb_error_fraction)
+    return int(scenario.tdp_watts / effective_per_core)
+
+
+#: The paper's quoted error levels and resulting core counts.
+PAPER_ERRORS: Dict[str, float] = {
+    "dvfs": 0.65,
+    "2level": 0.40,
+    "ptb": 0.10,
+}
+
+PAPER_CORE_COUNTS: Dict[str, int] = {
+    "dvfs": 19,
+    "2level": 22,
+    "ptb": 29,
+}
+
+
+def sec4d_table(measured_errors: Dict[str, float] | None = None,
+                scenario: TDPScenario = TDPScenario()) -> Dict[str, Dict[str, float]]:
+    """Paper-vs-measured cores-under-TDP comparison.
+
+    ``measured_errors`` maps technique -> AoPB fraction from our runs;
+    defaults to the paper's numbers only.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for tech, err in PAPER_ERRORS.items():
+        row = {
+            "paper_error": err,
+            "paper_cores": cores_under_tdp(err, scenario),
+        }
+        if measured_errors and tech in measured_errors:
+            row["measured_error"] = measured_errors[tech]
+            row["measured_cores"] = cores_under_tdp(
+                measured_errors[tech], scenario
+            )
+        out[tech] = row
+    out["ideal"] = {
+        "paper_error": 0.0,
+        "paper_cores": cores_under_tdp(0.0, scenario),
+    }
+    return out

@@ -1,0 +1,48 @@
+"""Budget enforcement: naive split, DVFS/DFS/2-level, and PTB."""
+
+from typing import Optional
+
+from ..config import CMPConfig
+from ..power.model import EnergyModel
+from .controller import BudgetController, LocalBudgetController
+from .ptb import PTBController, PTBLoadBalancer
+from .spingate import SpinGatingPTBController
+
+#: Techniques accepted by :func:`make_controller` and the simulator.
+TECHNIQUES = ("none", "dvfs", "dfs", "2level", "ptb", "ptb-spingate")
+
+
+def make_controller(
+    technique: str,
+    cfg: CMPConfig,
+    energy: EnergyModel,
+    global_budget: float,
+    ptb_policy: Optional[str] = None,
+) -> BudgetController:
+    """Build the budget controller for a named technique.
+
+    ``technique`` is one of :data:`TECHNIQUES`; ``ptb_policy`` overrides
+    ``cfg.ptb.policy`` for the ``"ptb"`` technique.
+    """
+    if technique == "none":
+        return BudgetController(cfg, energy, global_budget)
+    if technique in ("dvfs", "dfs", "2level"):
+        return LocalBudgetController(cfg, energy, global_budget, technique)
+    if technique == "ptb":
+        return PTBController(cfg, energy, global_budget, policy=ptb_policy)
+    if technique == "ptb-spingate":
+        return SpinGatingPTBController(
+            cfg, energy, global_budget, policy=ptb_policy
+        )
+    raise ValueError(f"unknown technique {technique!r}; expected {TECHNIQUES}")
+
+
+__all__ = [
+    "BudgetController",
+    "SpinGatingPTBController",
+    "LocalBudgetController",
+    "PTBController",
+    "PTBLoadBalancer",
+    "TECHNIQUES",
+    "make_controller",
+]

@@ -1,0 +1,288 @@
+"""Power Token Balancing (PTB) — the paper's contribution.
+
+Every cycle, each core reports how many power tokens it consumed
+against its local per-cycle allotment.  Cores under their allotment
+offer the difference (their *spare* tokens) to the centralized PTB
+load-balancer; the balancer redistributes them to cores over their
+allotment so those cores can keep running at full speed without the CMP
+exceeding the global budget.  Tokens are a currency: only counts travel
+over the dedicated wires, and nothing is banked — spares unused in a
+cycle vanish (Section III.E.2: "tokens from previous cycles are not
+stored in the balancer").
+
+Distribution policies (Section III.E.1):
+
+* **ToAll** — split the pool equally among all cores over budget.
+* **ToOne** — give the whole pool to the single most over-budget core.
+* **dynamic** — pick ToOne while lock-spinning dominates and ToAll
+  while barrier-spinning dominates (Section IV.B).
+
+Timing: the balancer round-trip (send + process + return) is 3 cycles
+for 4 cores, 5 for 8, 10 for 16 (Xilinx ISE estimates in the paper), so
+grants arriving at cycle ``t`` were computed from spares and requests
+of cycle ``t - latency``.  A core that pledged spares runs under a
+correspondingly *more restrictive* budget until the pledge lands, so
+the global constraint holds while tokens are in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..config import CMPConfig
+from ..power.microarch import Technique, select_technique
+from ..power.model import EnergyModel
+from .controller import LocalBudgetController
+
+
+class PTBLoadBalancer:
+    """The centralized token redistribution logic (pure, unit-testable)."""
+
+    __slots__ = ("num_cores", "latency", "_pipe", "granted_total")
+
+    def __init__(self, num_cores: int, latency: int) -> None:
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.num_cores = num_cores
+        self.latency = latency
+        # In-flight (spares, overs, priority) snapshots.
+        self._pipe: Deque[Tuple[List[int], List[int], List[int]]] = deque()
+        self.granted_total = 0
+
+    @staticmethod
+    def distribute(
+        pool: int,
+        overs: List[int],
+        policy: str,
+        priority: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Split ``pool`` spare tokens among over-budget cores.
+
+        ``overs[i]`` is how many tokens core ``i`` is over its local
+        budget (0 = not over).  Returns per-core grants.  Grants never
+        exceed the pool (token conservation) but a single core may
+        receive more than its overshoot (headroom for the next cycle).
+
+        ``priority`` lists cores holding contended locks: under ToOne
+        those threads gate the whole application, so the pool goes to
+        them even before their power ramps over the budget ("priority to
+        threads that enter a critical section", Section IV.B).
+        """
+        n = len(overs)
+        grants = [0] * n
+        if pool <= 0:
+            return grants
+        if policy == "toone":
+            # Concentrate tokens on the most power-hungry core first: it
+            # is served *fully* (with headroom) before anyone else sees a
+            # token, then the remainder flows to the next-most-needy.  A
+            # contended-lock holder outranks raw overshoot — it gates the
+            # whole application's progress.
+            order = sorted(
+                (i for i in range(n) if overs[i] > 0),
+                key=lambda i: overs[i],
+                reverse=True,
+            )
+            for p in reversed(priority or ()):
+                if p in order:
+                    order.remove(p)
+                order.insert(0, p)
+            for i in order:
+                if pool <= 0:
+                    break
+                want = max(overs[i] * 2, 1)
+                g = min(pool, want)
+                grants[i] = g
+                pool -= g
+            return grants
+        if policy == "toall":
+            needy = [i for i in range(n) if overs[i] > 0]
+            for p in priority or ():
+                if p not in needy:
+                    needy.append(p)
+            if not needy:
+                return grants
+            share, rem = divmod(pool, len(needy))
+            for j, i in enumerate(needy):
+                grants[i] = share + (1 if j < rem else 0)
+            return grants
+        raise ValueError(f"unknown distribution policy {policy!r}")
+
+    def cycle(
+        self,
+        spares: List[int],
+        overs: List[int],
+        policy: str,
+        priority: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Advance one cycle: ingest this cycle's reports, emit grants.
+
+        The returned grants correspond to the reports of ``latency``
+        cycles ago (wire + processing delay).  With ``latency == 0`` the
+        balancer is combinational (used by the ablation benchmarks).
+        """
+        self._pipe.append((list(spares), list(overs), list(priority or ())))
+        if len(self._pipe) <= self.latency:
+            return [0] * self.num_cores
+        old_spares, old_overs, old_priority = self._pipe.popleft()
+        pool = sum(old_spares)
+        grants = self.distribute(pool, old_overs, policy, old_priority)
+        self.granted_total += sum(grants)
+        return grants
+
+    def pending_pledge(self, core: int) -> int:
+        """Tokens core ``core`` has reported spare and not yet delivered."""
+        return sum(snapshot[0][core] for snapshot in self._pipe)
+
+
+class PTBController(LocalBudgetController):
+    """PTB on top of the 2-level technique (the paper's "PTB+2level").
+
+    Control currency is tokens/cycle.  The local token allotment is the
+    controllable slice of the local power budget:
+
+        T_local = (global_budget / n - uncontrollable) / token_unit
+
+    Each cycle the controller computes per-core spares and overshoots,
+    runs them through the balancer, and triggers the second-level
+    microarchitectural technique only on cores whose consumption exceeds
+    their *augmented* budget (allotment + granted - pledged) while the
+    CMP is over the global budget — with an optional relaxation factor
+    (Section IV.C) that trades accuracy for energy.
+    """
+
+    def __init__(
+        self,
+        cfg: CMPConfig,
+        energy: EnergyModel,
+        global_budget: float,
+        policy: Optional[str] = None,
+    ) -> None:
+        super().__init__(cfg, energy, global_budget, technique="2level")
+        self.name = "ptb"
+        self.uses_ptht = True
+        self.policy = policy if policy is not None else cfg.ptb.policy
+        if self.policy not in ("toall", "toone", "dynamic"):
+            raise ValueError(f"unknown PTB policy {self.policy!r}")
+        self.relax = cfg.ptb.relax_threshold
+        latency = cfg.ptb.round_trip_latency(cfg.num_cores)
+        self.balancer = PTBLoadBalancer(cfg.num_cores, latency)
+        unctrl = energy.uncontrollable_power
+        self.token_budget = max(
+            1.0, energy.eu_to_tokens(self.local_budget - unctrl)
+        )
+        self.global_token_budget = self.token_budget * cfg.num_cores
+        self._grants: List[int] = [0] * cfg.num_cores
+        self._last_spares: List[int] = [0] * cfg.num_cores
+        self.policy_switches = 0
+        self._current_policy = (
+            "toall" if self.policy == "dynamic" else self.policy
+        )
+
+    def _select_policy(self, sync_domain) -> str:
+        """Dynamic selector: lock-spinning -> ToOne, barriers -> ToAll."""
+        if self.policy != "dynamic":
+            return self.policy
+        if sync_domain is None:
+            return "toall"
+        locks = sync_domain.cores_waiting_on_locks()
+        barriers = sync_domain.cores_waiting_on_barriers()
+        chosen = "toone" if locks > barriers else "toall"
+        if chosen != self._current_policy:
+            self.policy_switches += 1
+            self._current_policy = chosen
+        return chosen
+
+    def end_cycle(
+        self,
+        now: int,
+        tokens: List[int],
+        powers: List[float],
+        sync_domain=None,
+    ) -> None:
+        n = self.num_cores
+        t_local = self.token_budget
+
+        # --- DVFS level 1, identical to the naive controller ----------------
+        total = 0.0
+        for p in powers:
+            total += p
+        self._win_energy += total
+        self._win_left -= 1
+        if self._win_left <= 0:
+            w = self.cfg.dvfs.window_cycles
+            self._global_over_window = (self._win_energy / w) > self.global_budget
+            self._win_energy = 0.0
+            self._win_left = w
+        dvfs_budget = (
+            self.local_budget if self._global_over_window else float("inf")
+        )
+
+        # --- token bookkeeping ------------------------------------------------
+        global_over = sum(tokens) > self.global_token_budget
+        spares = [0] * n
+        overs = [0] * n
+        # Cores *approaching* their allotment request tokens too: the
+        # balancer round trip is 3-10 cycles, so waiting until a core is
+        # already over would leave every power ramp uncovered for a full
+        # round trip.
+        near_floor = int(t_local * 0.85)
+        for i in range(n):
+            # A pledging core's usable allotment shrinks by what it
+            # reported spare and is still in flight this cycle.
+            pledge = self._last_spares[i]
+            usable = t_local - pledge + self._grants[i]
+            request = tokens[i] - min(int(usable), near_floor)
+            if request > 0:
+                overs[i] = int(request)
+            elif tokens[i] < t_local:
+                # Spares flow whenever they exist (Figure 7's barrier
+                # example): a spinner's unused allotment continuously
+                # subsidises whoever is doing useful work.
+                spare = int(t_local - tokens[i])
+                if spare > 0:
+                    spares[i] = spare
+
+        policy = self._select_policy(sync_domain)
+        priority = (
+            sync_domain.contended_lock_holders()
+            if sync_domain is not None
+            else []
+        )
+        self._grants = self.balancer.cycle(spares, overs, policy, priority)
+        self._last_spares = spares
+
+        # --- actuators for next cycle -----------------------------------------
+        throttles = self._throttles
+        relax = self.relax
+        for i in range(n):
+            ctl = self._dvfs[i]
+            self.execute[i] = ctl.tick(powers[i], dvfs_budget)
+            self.v_scale[i] = ctl.v_scale
+            th = throttles[i]
+            # Control plane: a pledging donor runs under a restricted
+            # budget until its tokens land (paper Section III.E.2).
+            eff_budget = t_local + self._grants[i] - self._last_spares[i]
+            # Metric plane: the AoPB budget line rises with granted
+            # tokens; a donor is simply under its local line, so the
+            # pledge does not lower the line it is measured against.
+            self.budget_lines[i] = self.local_budget + self.energy.tokens_to_eu(
+                self._grants[i]
+            )
+            trigger = eff_budget * (1.0 + relax)
+            if global_over and tokens[i] > trigger and eff_budget > 0:
+                overshoot = (tokens[i] - eff_budget) / eff_budget
+                th.set(select_technique(overshoot))
+                self.throttled_cycles += 1
+            else:
+                th.set(Technique.NONE)
+            th.tick()
+            self.fetch_allowed[i] = th.fetch_allowed
+            self.issue_width[i] = (
+                th.issue_width(self.cfg.core.issue_width)
+                if th.technique in (Technique.ISSUE_HALF, Technique.PIPELINE_GATE)
+                else None
+            )

@@ -1,0 +1,15 @@
+"""Out-of-order core model: pipeline, predictor, FUs, spin detection."""
+
+from .branch import GsharePredictor
+from .functional_units import FunctionalUnitPool
+from .pipeline import Core, SyncPhase
+from .spin import BCTSpinDetector, PowerPatternSpinDetector
+
+__all__ = [
+    "GsharePredictor",
+    "FunctionalUnitPool",
+    "Core",
+    "SyncPhase",
+    "BCTSpinDetector",
+    "PowerPatternSpinDetector",
+]

@@ -1,0 +1,472 @@
+"""Cycle-level out-of-order core model.
+
+One :class:`Core` per CMP core.  The model is trace-driven and
+dispatch-scheduled: at fetch, every instruction is assigned its
+execution start (respecting the statistical dependence chain, FU
+availability and memory latency from the cache hierarchy) and its
+completion cycle; the commit stage retires completed instructions in
+order, up to ``commit_width`` per cycle.  This keeps the per-cycle work
+O(width) while still producing the per-cycle power shape the paper's
+mechanisms react to: full-width bursts, miss-induced droops, ROB-full
+stalls, misprediction bubbles and the characteristic low-power spin
+signature of Figure 6.
+
+The core also hosts the per-core *sync unit*: a small state machine
+that executes lock acquire/release and barrier arrive operations by
+injecting real atomic/store instructions into the pipeline and busy-
+waiting with a dependent spin loop (load - compare - backward branch)
+whose loads hit the locally cached synchronization line until the
+releaser's store invalidates it — exactly the traffic pattern PTB
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+from typing import Deque, List, Optional
+
+from ..config import CMPConfig
+from ..isa.instructions import BASE_ENERGY, EXEC_LATENCY, Kind
+from ..isa.kmeans import TokenClassMap
+from ..mem.hierarchy import MemoryHierarchy
+from ..power.model import CycleEvents
+from ..power.tokens import TokenAccountant
+from ..sync.primitives import SyncDomain
+from ..trace.generator import InstrBatch, ThreadTraceGenerator
+from ..trace.phases import SyncKind, SyncOp
+from .branch import GsharePredictor
+from .functional_units import FunctionalUnitPool
+
+#: Flattened by-kind-code tables for the hot loop.
+_BASE_E: List[float] = [BASE_ENERGY[k] for k in Kind]
+_EXEC_LAT: List[int] = [EXEC_LATENCY[k] for k in Kind]
+
+_KIND_LOAD = int(Kind.LOAD)
+_KIND_STORE = int(Kind.STORE)
+_KIND_ATOMIC = int(Kind.ATOMIC)
+_KIND_BRANCH = int(Kind.BRANCH)
+_KIND_ALU = int(Kind.INT_ALU)
+
+#: Front-end depth between fetch and earliest issue (half the 14-stage
+#: pipeline lives in front of the scheduler).
+_DISPATCH_DELAY = 5
+#: Cycles to redirect fetch after a mispredicted branch resolves.
+_REDIRECT_CYCLES = 3
+
+#: ROB entry field indices (entries are plain lists for speed).
+_PC, _KIND, _BASE_EN, _BASE_TOK, _DISPATCH, _COMPLETE, _FLAGS = range(7)
+
+_F_MEM = 1
+_F_SYNC = 2
+
+
+class SyncPhase(IntEnum):
+    """What the thread is doing, for the Figure 3 breakdown."""
+
+    BUSY = 0
+    LOCK_ACQ = 1
+    LOCK_REL = 2
+    BARRIER = 3
+
+
+class _SyncState(IntEnum):
+    NONE = 0
+    ACQ_WAIT = 1    # test&set in flight
+    ACQ_SPIN = 2    # lost; spinning on the lock line
+    ACQ_RETRY = 3   # granted; winning test&set in flight
+    REL_WAIT = 4    # releasing store in flight
+    BAR_WAIT = 5    # arrival atomic in flight
+    BAR_FLIP = 6    # last arrival's sense-flip store in flight
+    BAR_SPIN = 7    # spinning on the sense line
+
+
+#: Synthetic PCs of injected sync and spin instructions.
+_SYNC_PC = 0x5F000000
+_SPIN_PC = 0x5E000000
+
+
+class Core:
+    """One out-of-order core plus its sync unit and token accountant."""
+
+    def __init__(
+        self,
+        core_id: int,
+        cfg: CMPConfig,
+        token_map: TokenClassMap,
+        hierarchy: MemoryHierarchy,
+        sync_domain: SyncDomain,
+        generator: ThreadTraceGenerator,
+    ) -> None:
+        self.core_id = core_id
+        self.cfg = cfg
+        self.hierarchy = hierarchy
+        self.sync = sync_domain
+        self.gen = generator
+
+        core = cfg.core
+        self.rob_entries = core.rob_entries
+        self.lsq_entries = core.lsq_entries
+        self.decode_width = core.decode_width
+        self.commit_width = core.commit_width
+
+        self.rob: Deque[list] = deque()
+        self.predictor = GsharePredictor(
+            core.bp_table_bytes, core.bp_history_bits
+        )
+        self.fus = FunctionalUnitPool(core)
+        self.accountant = TokenAccountant(token_map, cfg.power.ptht_entries)
+        self.events = CycleEvents()
+
+        # Batch cursor (filled lazily from the generator).
+        self._batch: Optional[InstrBatch] = None
+        self._bi = 0
+
+        self._last_complete = 0
+        self._inflight_mem = 0
+        self._fetch_stall_until = 0
+        self._spin_next = 0
+
+        # Sync unit state.
+        self._sync_state = _SyncState.NONE
+        self._sync_obj = -1
+        self._bar_generation = -1
+        self.sync_phase = SyncPhase.BUSY
+
+        self.done = False
+        self.committed = 0
+        self.executed_cycles = 0
+        self.spin_iterations = 0
+        self.mem_stall_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # public per-cycle entry points                                      #
+    # ------------------------------------------------------------------ #
+
+    def step(
+        self,
+        now: int,
+        fetch_allowed: bool = True,
+        issue_width: Optional[int] = None,
+    ) -> None:
+        """Execute one core cycle at global cycle ``now``."""
+        ev = self.events
+        ev.reset()
+        rob = self.rob
+        acc = self.accountant
+        self.executed_cycles += 1
+
+        # ---- commit stage -------------------------------------------------
+        # Commit always proceeds, even under PIPELINE_GATE: gating stops
+        # admission (fetch/issue) while the window drains, which is what
+        # lets a gated core's occupancy power sink below its budget.
+        n_commit = 0
+        commit_width = self.commit_width
+        while rob and n_commit < commit_width:
+            e = rob[0]
+            if e[_COMPLETE] > now:
+                break
+            rob.popleft()
+            n_commit += 1
+            self.committed += 1
+            ev.committed_energy += e[_BASE_EN]
+            acc.on_commit(e[_PC], e[_BASE_TOK], now - e[_DISPATCH])
+            flags = e[_FLAGS]
+            if flags & _F_MEM:
+                self._inflight_mem -= 1
+            if flags & _F_SYNC:
+                self._sync_commit(now)
+
+        occupancy = len(rob)
+        ev.rob_occupancy = occupancy
+        acc.begin_cycle(occupancy)
+        if rob and not n_commit and occupancy >= self.rob_entries - self.decode_width:
+            self.mem_stall_cycles += 1
+
+        # ---- sync unit polling ---------------------------------------------
+        st = self._sync_state
+        if st == _SyncState.ACQ_SPIN:
+            if self.sync.lock_granted(self._sync_obj, self.core_id, now):
+                self._inject_sync(now, _KIND_ATOMIC,
+                                  self.sync.lock(self._sync_obj).addr)
+                self._sync_state = _SyncState.ACQ_RETRY
+            else:
+                # A fetch-gated spinner stops issuing its spin loop (the
+                # spin-gating extension); it still observes the grant.
+                if fetch_allowed:
+                    self._spin_fetch(now, self.sync.lock(self._sync_obj).addr)
+                acc.end_cycle()
+                return
+        elif st == _SyncState.BAR_SPIN:
+            if self.sync.barrier_released(
+                self._sync_obj, self.core_id, self._bar_generation, now
+            ):
+                self._sync_state = _SyncState.NONE
+                self.sync_phase = SyncPhase.BUSY
+            else:
+                if fetch_allowed:
+                    self._spin_fetch(
+                        now, self.sync.barrier(self._sync_obj).sense_addr
+                    )
+                acc.end_cycle()
+                return
+
+        # ---- fetch stage ----------------------------------------------------
+        if (
+            fetch_allowed
+            and self._sync_state == _SyncState.NONE
+            and not self.done
+            and now >= self._fetch_stall_until
+        ):
+            self._fetch(now, issue_width)
+
+        acc.end_cycle()
+
+    def idle_cycle(self, now: int) -> None:
+        """A frequency-skipped (or post-completion) global cycle."""
+        ev = self.events
+        ev.reset()
+        ev.active = False
+        ev.rob_occupancy = len(self.rob)
+        acc = self.accountant
+        acc.begin_cycle(ev.rob_occupancy)
+        acc.end_cycle()
+
+    # ------------------------------------------------------------------ #
+    # fetch machinery                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _fetch(self, now: int, issue_width: Optional[int]) -> None:
+        width = self.decode_width
+        if issue_width is not None:
+            width = min(width, issue_width)
+        if width <= 0:
+            return
+        rob = self.rob
+        ev = self.events
+        first = True
+        while width > 0:
+            if len(rob) >= self.rob_entries:
+                break
+            batch = self._batch
+            if batch is None or self._bi >= batch.n:
+                item = self.gen.next_item()
+                if item is None:
+                    self._batch = None
+                    if not rob and self._sync_state == _SyncState.NONE:
+                        self.done = True
+                    return
+                if isinstance(item, SyncOp):
+                    self._batch = None
+                    self._start_sync(now, item)
+                    return
+                self._batch = batch = item
+                self._bi = 0
+            i = self._bi
+            kind = batch.kinds[i]
+            is_mem = kind == _KIND_LOAD or kind == _KIND_STORE or kind == _KIND_ATOMIC
+            if is_mem and self._inflight_mem >= self.lsq_entries:
+                break
+            pc = batch.pcs[i]
+            if first:
+                ic = self.hierarchy.fetch_instr(self.core_id, pc)
+                if ic.latency:
+                    ev.l2_accesses += 1
+                    if ic.mem_access:
+                        ev.mem_accesses += 1
+                    self._fetch_stall_until = now + ic.latency
+                    return
+                first = False
+
+            mem_extra = 0
+            if is_mem:
+                if kind == _KIND_LOAD:
+                    res = self.hierarchy.load(self.core_id, batch.addrs[i])
+                elif kind == _KIND_STORE:
+                    res = self.hierarchy.store(self.core_id, batch.addrs[i])
+                else:
+                    res = self.hierarchy.atomic(self.core_id, batch.addrs[i])
+                if not res.l1_hit:
+                    if res.l2_access:
+                        ev.l2_accesses += 1
+                    if res.mem_access:
+                        ev.mem_accesses += 1
+                    ev.flit_hops += res.flit_hops
+                    ev.invalidations += res.invalidations
+                    mem_extra = res.latency
+                self._inflight_mem += 1
+
+            ready = now + _DISPATCH_DELAY
+            if batch.deps[i] and self._last_complete > ready:
+                ready = self._last_complete
+            lat = _EXEC_LAT[kind]
+            start = self.fus.schedule(kind, ready, lat)
+            if kind == _KIND_STORE:
+                complete = start + 1  # retires from the store buffer
+            else:
+                complete = start + lat + mem_extra
+            base_e = _BASE_E[kind]
+            base_tok = self.accountant.on_fetch(pc, kind)
+            rob.append(
+                [pc, kind, base_e, base_tok, now, complete,
+                 _F_MEM if is_mem else 0]
+            )
+            ev.fetched_energy += base_e
+            ev.n_fetched += 1
+            self._last_complete = complete
+            self._bi = i + 1
+            width -= 1
+
+            if kind == _KIND_BRANCH:
+                ev.n_branches += 1
+                mispred = self.predictor.update(pc, bool(batch.takens[i]))
+                if mispred:
+                    self._fetch_stall_until = complete + _REDIRECT_CYCLES
+                    # Wrong-path fetch energy wasted before the redirect.
+                    ev.fetched_energy += 2.0 * _BASE_E[_KIND_ALU]
+                    return
+
+    def _spin_fetch(self, now: int, spin_addr: int) -> None:
+        """Fetch one dependent spin-loop iteration (load-test-branch)."""
+        if now < self._spin_next or len(self.rob) >= self.rob_entries - 3:
+            return
+        ev = self.events
+        rob = self.rob
+        acc = self.accountant
+        self.spin_iterations += 1
+
+        res = self.hierarchy.load(self.core_id, spin_addr)
+        mem_extra = 0
+        if not res.l1_hit:
+            if res.l2_access:
+                ev.l2_accesses += 1
+            if res.mem_access:
+                ev.mem_accesses += 1
+            ev.flit_hops += res.flit_hops
+            mem_extra = res.latency
+
+        ready = now + _DISPATCH_DELAY
+        start = self.fus.schedule(_KIND_LOAD, ready, 1)
+        c_load = start + 1 + mem_extra
+        start = self.fus.schedule(_KIND_ALU, c_load, 1)
+        c_alu = start + 1
+        start = self.fus.schedule(_KIND_BRANCH, c_alu, 1)
+        c_br = start + 1
+
+        pcs = (_SPIN_PC, _SPIN_PC + 4, _SPIN_PC + 8)
+        kinds = (_KIND_LOAD, _KIND_ALU, _KIND_BRANCH)
+        completes = (c_load, c_alu, c_br)
+        for pc, kind, comp in zip(pcs, kinds, completes):
+            base_e = _BASE_E[kind]
+            base_tok = acc.on_fetch(pc, kind)
+            rob.append([pc, kind, base_e, base_tok, now, comp,
+                        _F_MEM if kind == _KIND_LOAD else 0])
+            ev.fetched_energy += base_e
+            ev.n_fetched += 1
+        ev.n_branches += 1
+        self.predictor.update(_SPIN_PC + 8, True)
+        # The predictor knows the loop: while the line hits in L1 the
+        # next iteration issues right behind the load-use chain; when
+        # the line was invalidated (release!), the re-read gates it.
+        self._spin_next = now + 2 if mem_extra == 0 else c_load
+        self._last_complete = c_br
+
+    # ------------------------------------------------------------------ #
+    # sync unit                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _start_sync(self, now: int, op: SyncOp) -> None:
+        self._sync_obj = op.obj_id
+        if op.kind == SyncKind.ACQUIRE:
+            self.sync_phase = SyncPhase.LOCK_ACQ
+            self._sync_state = _SyncState.ACQ_WAIT
+            self._inject_sync(now, _KIND_ATOMIC, self.sync.lock(op.obj_id).addr)
+        elif op.kind == SyncKind.RELEASE:
+            self.sync_phase = SyncPhase.LOCK_REL
+            self._sync_state = _SyncState.REL_WAIT
+            self._inject_sync(now, _KIND_STORE, self.sync.lock(op.obj_id).addr)
+        else:  # BARRIER
+            self.sync_phase = SyncPhase.BARRIER
+            self._sync_state = _SyncState.BAR_WAIT
+            self._inject_sync(
+                now, _KIND_ATOMIC, self.sync.barrier(op.obj_id).count_addr
+            )
+
+    def _inject_sync(self, now: int, kind: int, addr: int) -> None:
+        """Dispatch one synchronization instruction into the pipeline."""
+        ev = self.events
+        if kind == _KIND_STORE:
+            res = self.hierarchy.store(self.core_id, addr)
+        else:
+            res = self.hierarchy.atomic(self.core_id, addr)
+        mem_extra = 0
+        if not res.l1_hit:
+            if res.l2_access:
+                ev.l2_accesses += 1
+            if res.mem_access:
+                ev.mem_accesses += 1
+            ev.flit_hops += res.flit_hops
+            ev.invalidations += res.invalidations
+            mem_extra = res.latency
+        ready = now + _DISPATCH_DELAY
+        if self._last_complete > ready:
+            ready = self._last_complete
+        lat = _EXEC_LAT[kind]
+        start = self.fus.schedule(kind, ready, lat)
+        complete = start + lat + mem_extra
+        base_e = _BASE_E[kind]
+        base_tok = self.accountant.on_fetch(_SYNC_PC + self._sync_obj * 4, kind)
+        self.rob.append(
+            [_SYNC_PC + self._sync_obj * 4, kind, base_e, base_tok, now,
+             complete, _F_MEM | _F_SYNC]
+        )
+        ev.fetched_energy += base_e
+        ev.n_fetched += 1
+        self._inflight_mem += 1
+        self._last_complete = complete
+
+    def _sync_commit(self, now: int) -> None:
+        """An injected sync instruction just committed."""
+        st = self._sync_state
+        if st == _SyncState.ACQ_WAIT:
+            if self.sync.try_acquire(self._sync_obj, self.core_id, now):
+                self._sync_state = _SyncState.NONE
+                self.sync_phase = SyncPhase.BUSY
+            else:
+                self._sync_state = _SyncState.ACQ_SPIN
+                self._spin_next = now + 1
+        elif st == _SyncState.ACQ_RETRY:
+            # Ownership was transferred by ``lock_granted``; the winning
+            # test&set has now committed.
+            self._sync_state = _SyncState.NONE
+            self.sync_phase = SyncPhase.BUSY
+        elif st == _SyncState.REL_WAIT:
+            self.sync.release(self._sync_obj, self.core_id, now)
+            self._sync_state = _SyncState.NONE
+            self.sync_phase = SyncPhase.BUSY
+        elif st == _SyncState.BAR_WAIT:
+            self._bar_generation = self.sync.barrier(self._sync_obj).generation
+            if self.sync.barrier_arrive(self._sync_obj, self.core_id, now):
+                # Last arrival: flip the sense line (wakes the spinners).
+                self._sync_state = _SyncState.BAR_FLIP
+                self._inject_sync(
+                    now, _KIND_STORE, self.sync.barrier(self._sync_obj).sense_addr
+                )
+            else:
+                self._sync_state = _SyncState.BAR_SPIN
+                self._spin_next = now + 1
+        elif st == _SyncState.BAR_FLIP:
+            self._sync_state = _SyncState.NONE
+            self.sync_phase = SyncPhase.BUSY
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_spinning(self) -> bool:
+        return self._sync_state in (_SyncState.ACQ_SPIN, _SyncState.BAR_SPIN)
+
+    @property
+    def rob_occupancy(self) -> int:
+        return len(self.rob)

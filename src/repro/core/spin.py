@@ -1,0 +1,125 @@
+"""Spin detection.
+
+Two detectors, both from the paper's discussion:
+
+* :class:`BCTSpinDetector` — Li et al. [12]: watch commits between
+  *backward control transfers* (BCTs).  If the observable machine state
+  is identical across several consecutive BCT intervals (same PC, no
+  stores, same interval signature), the core is spinning.
+
+* :class:`PowerPatternSpinDetector` — the paper's "transparent"
+  alternative (Section III.E.1, Figure 6): after the initial power peak,
+  a spinning core's per-cycle power drops and *stabilises* under the
+  budget.  A sustained, low-variance, low-mean stretch of per-cycle
+  token consumption flags spinning without any instruction inspection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class BCTSpinDetector:
+    """Backward-control-transfer state-comparison spin detector [12]."""
+
+    __slots__ = ("_threshold", "_last_bct_pc", "_interval_sig", "_sig",
+                 "_identical", "spinning", "detections")
+
+    def __init__(self, identical_intervals: int = 3) -> None:
+        if identical_intervals < 1:
+            raise ValueError("need at least one interval")
+        self._threshold = identical_intervals
+        self._last_bct_pc: Optional[int] = None
+        self._interval_sig: Optional[tuple] = None
+        self._sig = [0, 0, 0]  # [instr count, store count, addr xor]
+        self._identical = 0
+        self.spinning = False
+        self.detections = 0
+
+    def on_commit(self, pc: int, is_backward_branch: bool,
+                  is_store: bool, mem_addr: int = 0) -> None:
+        sig = self._sig
+        sig[0] += 1
+        if is_store:
+            sig[1] += 1
+        if mem_addr:
+            sig[2] ^= mem_addr
+        if not is_backward_branch:
+            return
+        interval = (pc, sig[0], sig[1], sig[2])
+        if (
+            self._last_bct_pc == pc
+            and self._interval_sig == interval
+            and sig[1] == 0  # true spinning writes nothing
+        ):
+            self._identical += 1
+            if self._identical >= self._threshold and not self.spinning:
+                self.spinning = True
+                self.detections += 1
+        else:
+            self._identical = 0
+            self.spinning = False
+        self._last_bct_pc = pc
+        self._interval_sig = interval
+        self._sig = [0, 0, 0]
+
+    def reset(self) -> None:
+        self._last_bct_pc = None
+        self._interval_sig = None
+        self._sig = [0, 0, 0]
+        self._identical = 0
+        self.spinning = False
+
+
+class PowerPatternSpinDetector:
+    """Detect spinning from the per-cycle power-token signature (Fig. 6).
+
+    Flags spinning when a trailing window of per-cycle token consumption
+    has both a low mean (below ``mean_threshold`` tokens/cycle) and low
+    variability (max-min spread below ``spread_threshold``): the
+    "stabilised under the budget" shape the paper describes.
+    """
+
+    __slots__ = ("window", "mean_threshold", "spread_threshold", "_hist",
+                 "_sum", "spinning", "detections")
+
+    def __init__(
+        self,
+        window: int = 32,
+        mean_threshold: float = 20.0,
+        spread_threshold: float = 12.0,
+    ) -> None:
+        if window < 4:
+            raise ValueError("window too small to be meaningful")
+        self.window = window
+        self.mean_threshold = mean_threshold
+        self.spread_threshold = spread_threshold
+        self._hist: Deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+        self.spinning = False
+        self.detections = 0
+
+    def on_cycle(self, tokens: float) -> bool:
+        h = self._hist
+        if len(h) == self.window:
+            self._sum -= h[0]
+        h.append(tokens)
+        self._sum += tokens
+        if len(h) < self.window:
+            self.spinning = False
+            return False
+        mean = self._sum / self.window
+        spread = max(h) - min(h)
+        was = self.spinning
+        self.spinning = (
+            mean <= self.mean_threshold and spread <= self.spread_threshold
+        )
+        if self.spinning and not was:
+            self.detections += 1
+        return self.spinning
+
+    def reset(self) -> None:
+        self._hist.clear()
+        self._sum = 0.0
+        self.spinning = False

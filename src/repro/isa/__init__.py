@@ -1,0 +1,27 @@
+"""Instruction set model and power-token class calibration."""
+
+from .instructions import (
+    BASE_ENERGY,
+    EXEC_LATENCY,
+    SPIN_LOOP_KINDS,
+    Instruction,
+    Kind,
+)
+from .kmeans import (
+    TokenClassMap,
+    calibrate_token_classes,
+    default_token_classes,
+    kmeans_1d,
+)
+
+__all__ = [
+    "BASE_ENERGY",
+    "EXEC_LATENCY",
+    "SPIN_LOOP_KINDS",
+    "Instruction",
+    "Kind",
+    "TokenClassMap",
+    "calibrate_token_classes",
+    "default_token_classes",
+    "kmeans_1d",
+]

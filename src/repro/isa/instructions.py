@@ -1,0 +1,112 @@
+"""Instruction model.
+
+The simulator is trace-driven: workload generators emit streams of
+:class:`Instruction` records.  Each record carries the architectural
+information the pipeline and the power model need — kind, execution
+latency class, memory behaviour and branch behaviour — plus a synthetic
+PC used to index the branch predictor and the Power Token History Table.
+
+Instruction *kinds* map onto the functional units of Table 1 (6 IntALU,
+2 IntMult, 4 FPALU, 4 FPMult) plus loads, stores, branches and the
+atomic read-modify-write operations used by the synchronization
+primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict
+
+
+class Kind(IntEnum):
+    """Instruction kinds recognised by the pipeline and power model."""
+
+    INT_ALU = 0
+    INT_MULT = 1
+    FP_ALU = 2
+    FP_MULT = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+    ATOMIC = 7  # ll/sc or test&set used by spinlocks/barriers
+    NOP = 8
+
+
+#: Execution latency (cycles in a functional unit) per kind.  Memory
+#: operations add cache latency on top (resolved by the memory hierarchy).
+EXEC_LATENCY: Dict[Kind, int] = {
+    Kind.INT_ALU: 1,
+    Kind.INT_MULT: 4,
+    Kind.FP_ALU: 3,
+    Kind.FP_MULT: 5,
+    Kind.LOAD: 1,     # address generation; +cache latency
+    Kind.STORE: 1,    # address generation; retires from LSQ
+    Kind.BRANCH: 1,
+    Kind.ATOMIC: 2,   # RMW occupies the port longer
+    Kind.NOP: 1,
+}
+
+
+#: Base *energy* of one execution of each kind, in power-token units
+#: before K-means quantization (see :mod:`repro.isa.kmeans`).  These are
+#: relative numbers derived from a Cacti-style structure model (see
+#: :mod:`repro.power.cacti`): an FP multiply costs far more than an
+#: integer add; memory instructions pay LSQ + L1 access; atomics pay an
+#: extra coherence action.  One power-token = the energy of one
+#: instruction occupying the ROB for one cycle.
+BASE_ENERGY: Dict[Kind, float] = {
+    Kind.INT_ALU: 4.0,
+    Kind.INT_MULT: 9.0,
+    Kind.FP_ALU: 11.0,
+    Kind.FP_MULT: 16.0,
+    Kind.LOAD: 7.0,
+    Kind.STORE: 6.0,
+    Kind.BRANCH: 5.0,   # includes predictor read/update
+    Kind.ATOMIC: 10.0,
+    Kind.NOP: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single dynamic instruction in a trace.
+
+    Attributes
+    ----------
+    pc:
+        Synthetic program counter.  Loopy code reuses PCs, which is what
+        gives the PTHT and the branch predictor their hit rates.
+    kind:
+        Functional class of the instruction.
+    mem_addr:
+        Cache-line-aligned address for loads/stores/atomics (0 otherwise).
+    taken:
+        For branches, the actual direction.
+    is_backward:
+        For branches, whether the target is backward (loop branch).  Used
+        by the BCT spin detector of Li et al. [12].
+    """
+
+    pc: int
+    kind: Kind
+    mem_addr: int = 0
+    taken: bool = False
+    is_backward: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        return self.kind in (Kind.LOAD, Kind.STORE, Kind.ATOMIC)
+
+    @property
+    def exec_latency(self) -> int:
+        return EXEC_LATENCY[self.kind]
+
+    @property
+    def base_energy(self) -> float:
+        return BASE_ENERGY[self.kind]
+
+
+#: Canonical spin-loop body: test (load), compare (alu), backward branch.
+#: Used by the synchronization layer while a core busy-waits.
+SPIN_LOOP_KINDS = (Kind.LOAD, Kind.INT_ALU, Kind.BRANCH)

@@ -1,0 +1,15 @@
+"""Memory subsystem: caches, MOESI coherence, hierarchy (Table 1)."""
+
+from .cache import Cache
+from .coherence import CoherenceResult, DirEntry, Directory, State
+from .hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CoherenceResult",
+    "DirEntry",
+    "Directory",
+    "State",
+    "AccessResult",
+    "MemoryHierarchy",
+]

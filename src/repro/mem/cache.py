@@ -1,0 +1,133 @@
+"""Set-associative cache with LRU replacement.
+
+Used for the per-core L1 I/D caches and the per-core unified L2
+(Table 1).  Lines are tracked at cache-line (64 B) granularity; the
+simulator only cares about hit/miss timing, occupancy and the victim
+line (for write-back accounting and inclusive-hierarchy invalidation),
+not data values.
+
+The implementation favours the common case — a hit in a 2- or 4-way
+set — which is a short scan over a Python list.  Tag arrays are plain
+nested lists: for associativities this small they beat numpy scalar
+indexing by a wide margin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    Stores line addresses (address >> offset_bits) rather than raw
+    addresses.  ``probe``/``fill``/``invalidate`` are the only
+    operations; the hierarchy composes them into load/store handling.
+    """
+
+    __slots__ = (
+        "cfg", "num_sets", "assoc", "_index_mask", "_offset_bits",
+        "_tags", "_lru", "_tick", "hits", "misses", "evictions",
+    )
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        self.cfg = cfg
+        self.num_sets = cfg.num_sets
+        self.assoc = cfg.assoc
+        self._index_mask = self.num_sets - 1
+        self._offset_bits = cfg.offset_bits
+        self._tags: List[List[int]] = [
+            [-1] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._lru: List[List[int]] = [
+            [0] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _set_of(self, line: int) -> int:
+        return line & self._index_mask
+
+    def probe(self, line: int, update_lru: bool = True) -> bool:
+        """True if ``line`` is present; updates LRU and counters."""
+        s = self._set_of(line)
+        tags = self._tags[s]
+        for w in range(self.assoc):
+            if tags[w] == line:
+                if update_lru:
+                    self._tick += 1
+                    self._lru[s][w] = self._tick
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching LRU or hit/miss counters."""
+        return line in self._tags[self._set_of(line)]
+
+    def fill(self, line: int) -> Optional[int]:
+        """Insert ``line``; returns the evicted line (or None)."""
+        s = self._set_of(line)
+        tags = self._tags[s]
+        lru = self._lru[s]
+        self._tick += 1
+        victim_way = 0
+        victim_line: Optional[int] = None
+        for w in range(self.assoc):
+            if tags[w] == line:      # already present (racing fills)
+                lru[w] = self._tick
+                return None
+            if tags[w] == -1:
+                tags[w] = line
+                lru[w] = self._tick
+                return None
+        # Set full: evict true LRU way.
+        oldest = lru[0]
+        for w in range(1, self.assoc):
+            if lru[w] < oldest:
+                oldest = lru[w]
+                victim_way = w
+        victim_line = tags[victim_way]
+        tags[victim_way] = line
+        lru[victim_way] = self._tick
+        self.evictions += 1
+        return victim_line
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present; returns whether it was present."""
+        s = self._set_of(line)
+        tags = self._tags[s]
+        for w in range(self.assoc):
+            if tags[w] == line:
+                tags[w] = -1
+                self._lru[s][w] = 0
+                return True
+        return False
+
+    def flush(self) -> None:
+        for s in range(self.num_sets):
+            for w in range(self.assoc):
+                self._tags[s][w] = -1
+                self._lru[s][w] = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def occupancy(self) -> Tuple[int, int]:
+        """(valid lines, total ways) — used by tests and reports."""
+        valid = sum(
+            1
+            for s in range(self.num_sets)
+            for w in range(self.assoc)
+            if self._tags[s][w] != -1
+        )
+        return valid, self.num_sets * self.assoc

@@ -1,0 +1,5 @@
+"""On-chip interconnect: switched 2D mesh (Table 1)."""
+
+from .mesh import Mesh2D, MeshCoord
+
+__all__ = ["Mesh2D", "MeshCoord"]

@@ -1,0 +1,101 @@
+"""2D-mesh interconnection network (Table 1, "Network Parameters").
+
+Switched 2D mesh with XY (dimension-ordered) routing, 4-cycle link
+latency, 4-byte flits and 1 flit/cycle link bandwidth.  The simulator
+uses the mesh for two things:
+
+* *latency* of coherence transactions (hop count x per-hop latency,
+  plus serialisation of the message's flits), and
+* *energy* of on-chip traffic (per flit-hop).
+
+Link contention is modelled statistically: coherence misses are rare
+enough in these workloads that queueing is second-order; the router
+pipeline latency is charged per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import NetworkConfig
+
+
+@dataclass(frozen=True)
+class MeshCoord:
+    x: int
+    y: int
+
+
+class Mesh2D:
+    """A ``width x height`` mesh of routers, one core per router."""
+
+    def __init__(self, num_nodes: int, cfg: NetworkConfig) -> None:
+        if num_nodes <= 0:
+            raise ValueError("mesh needs at least one node")
+        self.cfg = cfg
+        self.num_nodes = num_nodes
+        self.width, self.height = self._dims(num_nodes)
+        self._coords: List[MeshCoord] = [
+            MeshCoord(i % self.width, i // self.width)
+            for i in range(num_nodes)
+        ]
+        self.flit_hops = 0          # total flit-link traversals (energy)
+        self.messages = 0
+
+    @staticmethod
+    def _dims(n: int) -> Tuple[int, int]:
+        import math
+
+        w = int(math.isqrt(n))
+        while n % w:
+            w -= 1
+        h = n // w
+        return (max(w, h), min(w, h))
+
+    def coord_of(self, node: int) -> MeshCoord:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range")
+        return self._coords[node]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Manhattan distance under XY routing."""
+        a, b = self.coord_of(src), self.coord_of(dst)
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The XY route as a list of node ids, inclusive of endpoints."""
+        a, b = self.coord_of(src), self.coord_of(dst)
+        path = [src]
+        x, y = a.x, a.y
+        while x != b.x:
+            x += 1 if b.x > x else -1
+            path.append(y * self.width + x)
+        while y != b.y:
+            y += 1 if b.y > y else -1
+            path.append(y * self.width + x)
+        return path
+
+    def traversal_latency(self, hops: int, payload_bytes: int = 64) -> int:
+        """Latency of a message crossing ``hops`` links.
+
+        Head latency = hops x (link + router); tail adds flit
+        serialisation at 1 flit/cycle for the payload (a 64 B cache line
+        = 16 flits of 4 B).
+        """
+        if hops <= 0:
+            return 0
+        flits = max(
+            1, -(-payload_bytes // self.cfg.flit_bytes)
+        )  # ceil division
+        head = hops * (self.cfg.link_latency + self.cfg.router_latency)
+        tail = (flits - 1) // self.cfg.link_bandwidth_flits
+        return head + tail
+
+    def record_message(self, hops: int, payload_bytes: int = 64) -> int:
+        """Account energy-relevant flit-hops for a message; returns them."""
+        flits = max(1, -(-payload_bytes // self.cfg.flit_bytes))
+        fh = flits * max(hops, 0)
+        self.flit_hops += fh
+        self.messages += 1
+        return fh

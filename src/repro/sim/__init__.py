@@ -1,0 +1,21 @@
+"""CMP simulation driver and result types."""
+
+from .cmp import DEFAULT_MAX_CYCLES, CMPSimulator, run_simulation
+from .results import (
+    PHASE_NAMES,
+    SimResult,
+    normalized_aopb_pct,
+    normalized_energy_pct,
+    slowdown_pct,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CYCLES",
+    "CMPSimulator",
+    "run_simulation",
+    "PHASE_NAMES",
+    "SimResult",
+    "normalized_aopb_pct",
+    "normalized_energy_pct",
+    "slowdown_pct",
+]

@@ -1,0 +1,105 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Sync-phase names in breakdown order (matches Figure 3's legend).
+PHASE_NAMES = ("busy", "lock_acq", "lock_rel", "barrier")
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produces.
+
+    Energies are in EU x cycles; powers in EU/cycle.  The paper reports
+    normalized quantities, so units cancel in every reproduced figure.
+    """
+
+    benchmark: str
+    technique: str
+    policy: Optional[str]
+    num_cores: int
+    budget_fraction: Optional[float]
+    global_budget: float
+
+    cycles: int
+    completed: bool
+    committed_instructions: int
+
+    total_energy: float
+    aopb_energy: float                  # area over the power budget (Fig. 1)
+    spin_energy: float                  # energy burned while spinning (Fig. 4)
+    max_power: float
+    #: per-core cycles in each sync phase: [core][phase] (Fig. 3)
+    phase_cycles: List[List[int]]
+
+    mean_temperature: float
+    std_temperature: float
+
+    throttled_cycles: int
+    ptht_hit_rate: float
+
+    #: optional per-cycle traces (None unless requested)
+    power_trace: Optional[np.ndarray] = None
+    core_power_traces: Optional[np.ndarray] = None
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def avg_power(self) -> float:
+        return self.total_energy / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.committed_instructions / (self.cycles * self.num_cores)
+
+    @property
+    def aopb_fraction_of_energy(self) -> float:
+        """AoPB as a fraction of total energy consumed."""
+        return self.aopb_energy / self.total_energy if self.total_energy else 0.0
+
+    @property
+    def spin_fraction_of_energy(self) -> float:
+        """Figure 4's metric: spin power / total power."""
+        return self.spin_energy / self.total_energy if self.total_energy else 0.0
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Figure 3's metric: CMP-wide fraction of time per sync phase."""
+        totals = [0] * len(PHASE_NAMES)
+        for per_core in self.phase_cycles:
+            for p, c in enumerate(per_core):
+                totals[p] += c
+        grand = sum(totals)
+        if grand == 0:
+            return {name: 0.0 for name in PHASE_NAMES}
+        return {name: totals[p] / grand for p, name in enumerate(PHASE_NAMES)}
+
+
+def normalized_energy_pct(result: SimResult, base: SimResult) -> float:
+    """Energy of ``result`` relative to the uncontrolled base, in percent
+    deviation (negative = saving), as in Figures 2/9-12 (left panels)."""
+    if base.total_energy == 0:
+        return 0.0
+    return 100.0 * (result.total_energy / base.total_energy - 1.0)
+
+
+def normalized_aopb_pct(result: SimResult, base: SimResult) -> float:
+    """AoPB of ``result`` as a percentage of the base case's AoPB, as in
+    Figures 2/9-12 (right panels).  0 = perfect budget matching."""
+    if base.aopb_energy <= 0:
+        return 0.0
+    return 100.0 * result.aopb_energy / base.aopb_energy
+
+def slowdown_pct(result: SimResult, base: SimResult) -> float:
+    """Execution-time increase over the base case in percent (Fig. 13)."""
+    if base.cycles == 0:
+        return 0.0
+    return 100.0 * (result.cycles / base.cycles - 1.0)

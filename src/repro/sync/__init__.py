@@ -1,0 +1,19 @@
+"""Synchronization primitives: spinlocks and sense-reversing barriers."""
+
+from .primitives import (
+    Barrier,
+    SpinLock,
+    SyncDomain,
+    barrier_count_address,
+    barrier_sense_address,
+    lock_address,
+)
+
+__all__ = [
+    "Barrier",
+    "SpinLock",
+    "SyncDomain",
+    "barrier_count_address",
+    "barrier_sense_address",
+    "lock_address",
+]

@@ -1,0 +1,41 @@
+"""Synthetic trace generation: phase programs and instruction streams."""
+
+from .generator import (
+    LINE_BYTES,
+    SHARED_BASE,
+    InstrBatch,
+    ThreadTraceGenerator,
+)
+from .phases import (
+    DEFAULT_MIX,
+    FP_MIX,
+    INT_MEM_MIX,
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ParallelProgram,
+    Phase,
+    SyncKind,
+    SyncOp,
+    ThreadProgram,
+    validate_mix,
+)
+
+__all__ = [
+    "LINE_BYTES",
+    "SHARED_BASE",
+    "InstrBatch",
+    "ThreadTraceGenerator",
+    "DEFAULT_MIX",
+    "FP_MIX",
+    "INT_MEM_MIX",
+    "BarrierPhase",
+    "ComputePhase",
+    "LockPhase",
+    "ParallelProgram",
+    "Phase",
+    "SyncKind",
+    "SyncOp",
+    "ThreadProgram",
+    "validate_mix",
+]

@@ -1,0 +1,334 @@
+"""Instruction stream generation.
+
+Converts a :class:`~repro.trace.phases.ThreadProgram` into the stream of
+dynamic instructions and synchronization markers a core consumes.
+
+Performance note (this is the simulator's hot path): dynamic
+instructions are produced in *batches* of parallel primitive lists
+(kind codes, PCs, addresses, branch bits) rather than as per-instance
+objects.  One 16-core run fetches hundreds of thousands of dynamic
+instructions; building a dataclass for each would dominate runtime.
+Randomness is drawn from per-thread ``numpy`` generators in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..isa.instructions import Kind
+from .phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    SyncKind,
+    SyncOp,
+    ThreadProgram,
+)
+
+#: Cache-line granularity of generated addresses.
+LINE_BYTES = 64
+
+#: Private address spaces are separated per thread; shared data lives in
+#: a region common to all threads of a program.
+PRIVATE_REGION_BITS = 34
+SHARED_BASE = 1 << 40
+
+
+class InstrBatch:
+    """A batch of dynamic instructions as parallel primitive lists.
+
+    ``kinds[i]``/``pcs[i]``/``addrs[i]`` describe instruction ``i``;
+    ``takens[i]``/``backwards[i]`` are meaningful only for branches;
+    ``deps[i]`` is 1 when instruction ``i`` depends on instruction
+    ``i-1`` of the same thread (statistical dependence model).
+    """
+
+    __slots__ = ("kinds", "pcs", "addrs", "takens", "backwards", "deps", "n")
+
+    def __init__(
+        self,
+        kinds: List[int],
+        pcs: List[int],
+        addrs: List[int],
+        takens: List[int],
+        backwards: List[int],
+        deps: List[int],
+    ) -> None:
+        self.kinds = kinds
+        self.pcs = pcs
+        self.addrs = addrs
+        self.takens = takens
+        self.backwards = backwards
+        self.deps = deps
+        self.n = len(kinds)
+
+
+StreamItem = Union[InstrBatch, SyncOp]
+
+
+def _compile_body(phase: ComputePhase, rng: np.random.Generator):
+    """Lay out the static loop body of a compute phase.
+
+    Returns parallel tuples ``(kinds, is_mem, is_branch)`` of length
+    ``phase.loop_body``.  The final slot is always the backward loop
+    branch; remaining slots are filled to match the phase mix as closely
+    as a finite body allows.
+    """
+    body = phase.loop_body
+    kinds: List[int] = []
+    # Deterministic largest-remainder apportionment of the mix over the
+    # body (minus the closing loop branch).
+    slots = body - 1
+    mix_items = [(k, f) for k, f in phase.mix.items() if f > 0]
+    counts = {k: int(f * slots) for k, f in mix_items}
+    assigned = sum(counts.values())
+    remainders = sorted(
+        mix_items, key=lambda kf: (kf[1] * slots) % 1.0, reverse=True
+    )
+    i = 0
+    while assigned < slots and remainders:
+        k = remainders[i % len(remainders)][0]
+        counts[k] += 1
+        assigned += 1
+        i += 1
+    for k, c in counts.items():
+        kinds.extend([int(k)] * c)
+    # Interleave deterministically (shuffle with the phase RNG) so that
+    # memory ops and FP ops spread through the body.
+    order = rng.permutation(len(kinds))
+    kinds = [kinds[j] for j in order]
+    kinds.append(int(Kind.BRANCH))  # closing backward branch
+    return kinds
+
+
+#: Three-tier locality model: most accesses stay in a sliding L1-sized
+#: hot window; a second tier reuses an L2-resident warm region; the
+#: remainder sweep the whole footprint (capacity/compulsory misses).
+HOT_FRACTION = 0.92
+WARM_FRACTION = 0.06          # of the total (hot + warm + cold = 1)
+#: Size of the hot window in cache lines (fits comfortably in L1).
+HOT_WINDOW_LINES = 192
+#: Size of the warm region in cache lines (fits in the private L2).
+WARM_REGION_LINES = 1536
+#: Shared accesses also have locality: most touch a sliding shared hot
+#: window, the rest the full shared footprint.
+SHARED_HOT_FRACTION = 0.70
+SHARED_HOT_LINES = 256
+#: Shared data beyond this many lines is never generated: the shared
+#: region of real kernels (boundary rows, particle cells, work queues)
+#: is far smaller than the private bulk data.
+SHARED_FOOTPRINT_CAP = 2048
+
+
+class _ComputeState:
+    """Generation state while inside one compute phase."""
+
+    __slots__ = (
+        "phase", "remaining", "body_kinds", "pc_base",
+        "iteration", "private_base", "rng", "hot_base",
+    )
+
+    def __init__(
+        self,
+        phase: ComputePhase,
+        pc_base: int,
+        private_base: int,
+        rng: np.random.Generator,
+        body_kinds: Optional[List[int]] = None,
+    ) -> None:
+        self.phase = phase
+        self.remaining = phase.instructions
+        self.body_kinds = (
+            body_kinds if body_kinds is not None else _compile_body(phase, rng)
+        )
+        self.pc_base = pc_base
+        self.iteration = 0
+        self.private_base = private_base
+        self.rng = rng
+        self.hot_base = 0
+
+    def next_batch(self, max_size: int = 512) -> Optional[InstrBatch]:
+        if self.remaining <= 0:
+            return None
+        phase = self.phase
+        body = self.body_kinds
+        blen = len(body)
+        n = min(self.remaining, max_size)
+        # Emit whole loop iterations when possible so back-edges line up.
+        n_iters = max(1, n // blen)
+        n = min(self.remaining, n_iters * blen)
+        self.remaining -= n
+
+        rng = self.rng
+        start = (self.iteration * blen) % blen  # always 0 except tail runs
+        kinds = [body[(start + i) % blen] for i in range(n)]
+        pcs = [self.pc_base + ((start + i) % blen) * 4 for i in range(n)]
+
+        # Vectorised randomness for the whole batch.
+        u_shared = rng.random(n)
+        footprint = max(1, phase.footprint_lines)
+        # Temporal locality: most accesses land in a sliding hot window;
+        # the remainder sweep the whole footprint (capacity misses).
+        hot_span = min(HOT_WINDOW_LINES, footprint)
+        warm_span = min(WARM_REGION_LINES, footprint)
+        hot_lines = self.hot_base + rng.integers(0, hot_span, n)
+        hot_lines %= footprint
+        warm_lines = rng.integers(0, warm_span, n)
+        cold_lines = rng.integers(0, footprint, n)
+        u_hot = rng.random(n)
+        line_private = np.where(
+            u_hot < HOT_FRACTION,
+            hot_lines,
+            np.where(u_hot < HOT_FRACTION + WARM_FRACTION,
+                     warm_lines, cold_lines),
+        )
+        self.hot_base = (self.hot_base + max(1, hot_span // 64)) % footprint
+        shared_span = min(SHARED_HOT_LINES, footprint)
+        sh_hot = rng.integers(0, shared_span, n)
+        sh_cold = rng.integers(0, min(footprint, SHARED_FOOTPRINT_CAP), n)
+        line_shared = np.where(
+            rng.random(n) < SHARED_HOT_FRACTION, sh_hot, sh_cold
+        )
+        u_taken = rng.random(n)
+        u_dep = rng.random(n)
+
+        shared_mask = u_shared < phase.shared_fraction
+        addrs_np = np.where(
+            shared_mask,
+            SHARED_BASE + line_shared * LINE_BYTES,
+            self.private_base + line_private * LINE_BYTES,
+        )
+        addrs = addrs_np.tolist()
+        taken_rand = (u_taken < phase.branch_bias)
+        deps = (u_dep >= phase.ilp).astype(np.int8).tolist()
+
+        takens = [0] * n
+        backwards = [0] * n
+        branch_kind = int(Kind.BRANCH)
+        taken_list = taken_rand.tolist()
+        for i in range(n):
+            k = kinds[i]
+            if k == branch_kind:
+                if (start + i) % blen == blen - 1:
+                    backwards[i] = 1
+                    takens[i] = 1  # loop back-edge: taken
+                else:
+                    takens[i] = 1 if taken_list[i] else 0
+            if kinds[i] not in _MEM_KINDS:
+                addrs[i] = 0
+        self.iteration += n // blen
+        return InstrBatch(kinds, pcs, addrs, takens, backwards, deps)
+
+
+_MEM_KINDS = frozenset(
+    (int(Kind.LOAD), int(Kind.STORE), int(Kind.ATOMIC))
+)
+
+
+class ThreadTraceGenerator:
+    """Pull-based stream of :class:`InstrBatch` / :class:`SyncOp` items.
+
+    The core's fetch stage calls :meth:`next_item` whenever it exhausts
+    its current batch.  ``None`` signals end of program.
+    """
+
+    def __init__(self, program: ThreadProgram, seed: int) -> None:
+        self.program = program
+        self.thread_id = program.thread_id
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence((seed, program.thread_id))
+        )
+        self._phase_idx = 0
+        self._compute: Optional[_ComputeState] = None
+        self._pending: List[StreamItem] = []
+        self._private_base = (program.thread_id + 1) << PRIVATE_REGION_BITS
+        self._instructions_emitted = 0
+        # Static-code identity: phases with the same shape (same loop
+        # body, mix, locality) are the same *function* called with a
+        # different trip count, so they share PCs — that is what gives
+        # the I-cache, gshare and PTHT their cross-interval reuse.
+        self._code_bases: dict = {}
+        self._next_code_slot = 1
+
+    @property
+    def instructions_emitted(self) -> int:
+        return self._instructions_emitted
+
+    def _enter_phase(self) -> bool:
+        """Advance to the next phase; returns False at end of program."""
+        if self._phase_idx >= len(self.program.phases):
+            return False
+        phase = self.program.phases[self._phase_idx]
+        pc_base, body = self._code_base_for(phase)
+        self._phase_idx += 1
+        if isinstance(phase, ComputePhase):
+            self._compute = _ComputeState(
+                phase, pc_base, self._private_base, self._rng, body
+            )
+        elif isinstance(phase, LockPhase):
+            self._pending.append(SyncOp(SyncKind.ACQUIRE, phase.lock_id))
+            self._compute = _ComputeState(
+                phase.critical_section, pc_base, self._private_base,
+                self._rng, body,
+            )
+            # RELEASE is queued after the critical section drains; handled
+            # by a sentinel pushed when the compute state exhausts.
+            self._pending_release = phase.lock_id
+        elif isinstance(phase, BarrierPhase):
+            self._pending.append(SyncOp(SyncKind.BARRIER, phase.barrier_id))
+        else:  # pragma: no cover - exhaustive over Phase union
+            raise TypeError(f"unknown phase type {type(phase)!r}")
+        return True
+
+    _pending_release: Optional[int] = None
+
+    def _code_base_for(self, phase) -> int:
+        """PC base of a phase's static code.
+
+        The code identity key deliberately omits the dynamic trip count
+        (``instructions``): two compute phases differing only in how much
+        work they do run the *same* loop.  Code regions are laid out at a
+        non-power-of-two stride so they spread across cache sets.
+        """
+        if isinstance(phase, ComputePhase):
+            key = (
+                "comp", phase.loop_body, phase.footprint_lines,
+                phase.shared_fraction, phase.branch_bias, phase.ilp,
+                tuple(sorted((int(k), v) for k, v in phase.mix.items())),
+            )
+        elif isinstance(phase, LockPhase):
+            cs = phase.critical_section
+            key = ("cs", phase.lock_id, cs.loop_body)
+        else:
+            key = ("barrier",)
+        entry = self._code_bases.get(key)
+        if entry is None:
+            base = self._next_code_slot * 0x1340
+            body = None
+            if isinstance(phase, ComputePhase):
+                body = _compile_body(phase, self._rng)
+            elif isinstance(phase, LockPhase):
+                body = _compile_body(phase.critical_section, self._rng)
+            entry = (base, body)
+            self._code_bases[key] = entry
+            self._next_code_slot += 1
+        return entry
+
+    def next_item(self) -> Optional[StreamItem]:
+        while True:
+            if self._pending:
+                return self._pending.pop(0)
+            if self._compute is not None:
+                batch = self._compute.next_batch()
+                if batch is not None:
+                    self._instructions_emitted += batch.n
+                    return batch
+                self._compute = None
+                if self._pending_release is not None:
+                    lock_id = self._pending_release
+                    self._pending_release = None
+                    return SyncOp(SyncKind.RELEASE, lock_id)
+            if not self._enter_phase():
+                return None

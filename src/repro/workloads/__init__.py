@@ -1,0 +1,37 @@
+"""The paper's 14-benchmark workload suite (SPLASH-2 + PARSEC, Table 2)."""
+
+from .catalog import (
+    SCALES,
+    BenchmarkSpec,
+    benchmark_names,
+    build_program,
+    spec_of,
+    table2_rows,
+)
+from .characteristics import (
+    ALL_SPECS,
+    BENCHMARK_ORDER,
+    PARSEC_SPECS,
+    SPECS_BY_NAME,
+    SPLASH2_SPECS,
+)
+from .parsec import PARSEC_NAMES, parsec_spec
+from .splash2 import SPLASH2_NAMES, splash2_spec
+
+__all__ = [
+    "SCALES",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_program",
+    "spec_of",
+    "table2_rows",
+    "ALL_SPECS",
+    "BENCHMARK_ORDER",
+    "PARSEC_SPECS",
+    "SPECS_BY_NAME",
+    "SPLASH2_SPECS",
+    "PARSEC_NAMES",
+    "parsec_spec",
+    "SPLASH2_NAMES",
+    "splash2_spec",
+]

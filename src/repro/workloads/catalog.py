@@ -1,0 +1,164 @@
+"""Workload catalog: build runnable programs from benchmark specs.
+
+:func:`build_program` turns a :class:`BenchmarkSpec` into a
+:class:`~repro.trace.phases.ParallelProgram` for a given thread count
+and scale.  Construction is deterministic in ``(name, threads, scale,
+seed)``.
+
+Program shape per interval::
+
+    [compute (imbalanced)] [lock/CS ops interleaved] ... BARRIER
+
+and a final barrier closes the parallel phase so all threads finish
+together, as the paper's region-of-interest methodology does.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ParallelProgram,
+    Phase,
+    ThreadProgram,
+)
+from .characteristics import (
+    ALL_SPECS,
+    BENCHMARK_ORDER,
+    PARSEC_SPECS,
+    SPECS_BY_NAME,
+    SPLASH2_SPECS,
+    BenchmarkSpec,
+)
+
+#: Named simulation scales: multiply per-thread work.  "small" is sized
+#: so a 16-core run completes in roughly ten thousand cycles.
+SCALES: Dict[str, float] = {
+    "tiny": 0.12,
+    "small": 1.0,
+    "medium": 4.0,
+    "large": 16.0,
+}
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All 14 benchmarks in the paper's figure order."""
+    return BENCHMARK_ORDER
+
+
+def spec_of(name: str) -> BenchmarkSpec:
+    try:
+        return SPECS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {BENCHMARK_ORDER}"
+        ) from None
+
+
+def table2_rows() -> List[Tuple[str, str, str]]:
+    """(suite, benchmark, input size) rows reproducing Table 2."""
+    return [(s.suite, s.name, s.input_size) for s in ALL_SPECS]
+
+
+def _compute_phase(
+    spec: BenchmarkSpec, instructions: int
+) -> ComputePhase:
+    return ComputePhase(
+        instructions=max(0, instructions),
+        mix=spec.mix,
+        footprint_lines=spec.footprint_lines,
+        shared_fraction=spec.shared_fraction,
+        loop_body=spec.loop_body,
+        branch_bias=spec.branch_bias,
+        ilp=spec.ilp,
+    )
+
+
+def build_program(
+    name: str,
+    num_threads: int,
+    scale: float | str = "small",
+    seed: int = 7,
+) -> ParallelProgram:
+    """Synthesise the named benchmark for ``num_threads`` threads.
+
+    ``scale`` is a factor or one of :data:`SCALES`.  Thread work per
+    interval is drawn lognormally around the spec mean with the spec's
+    imbalance — the same interval draws for every technique under the
+    same seed, so comparisons across techniques see identical work.
+    """
+    spec = spec_of(name)
+    if isinstance(scale, str):
+        try:
+            scale = SCALES[scale]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+            ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if num_threads < 1:
+        raise ValueError("need at least one thread")
+
+    # zlib.crc32 is stable across processes (str.__hash__ is salted).
+    name_key = zlib.crc32(name.encode()) & 0xFFFF
+    rng = np.random.default_rng(np.random.SeedSequence((seed, name_key)))
+    sigma = spec.imbalance
+    barrier_id = 0
+    threads: List[List[Phase]] = [[] for _ in range(num_threads)]
+
+    for interval in range(spec.barrier_intervals):
+        # Per-thread work for this interval: lognormal around the mean.
+        draws = rng.lognormal(mean=0.0, sigma=sigma, size=num_threads)
+        work = (spec.work_per_interval * scale * draws).astype(np.int64)
+        # Lock ids for this interval: contended benchmarks reuse few ids.
+        for t in range(num_threads):
+            phases = threads[t]
+            n_locks = spec.lock_ops_per_interval
+            if n_locks > 0:
+                # Interleave compute slices with critical sections.
+                slice_len = max(1, int(work[t]) // (n_locks + 1))
+                for k in range(n_locks):
+                    phases.append(_compute_phase(spec, slice_len))
+                    lock_id = int(rng.integers(0, spec.num_locks))
+                    phases.append(
+                        LockPhase(
+                            lock_id=lock_id,
+                            critical_section=_compute_phase(
+                                spec, max(1, int(spec.cs_len * scale ** 0.25))
+                            ),
+                        )
+                    )
+                phases.append(_compute_phase(spec, slice_len))
+            else:
+                phases.append(_compute_phase(spec, int(work[t])))
+            phases.append(BarrierPhase(barrier_id))
+        barrier_id += 1
+
+    return ParallelProgram(
+        name=name,
+        threads=tuple(
+            ThreadProgram(thread_id=t, phases=tuple(threads[t]))
+            for t in range(num_threads)
+        ),
+    )
+
+
+__all__ = [
+    "ALL_SPECS",
+    "BENCHMARK_ORDER",
+    "PARSEC_SPECS",
+    "SPLASH2_SPECS",
+    "SCALES",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_program",
+    "spec_of",
+    "table2_rows",
+]

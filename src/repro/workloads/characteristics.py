@@ -1,0 +1,175 @@
+"""Per-benchmark workload characteristics.
+
+Each of the paper's 14 benchmarks (Table 2) is described by a
+:class:`BenchmarkSpec` capturing what matters to PTB: the
+synchronization *structure* (barrier-interval count, lock density,
+critical-section length, contention), the per-interval work imbalance
+across threads (what makes early threads spin at barriers), and the
+compute character (instruction mix, working-set size, shared-data
+fraction, ILP, branch predictability).
+
+The numbers are calibrated so the execution-time breakdown of a 16-core
+run matches the *shape* of the paper's Figure 3 — e.g. Unstructured and
+Fluidanimate are lock-acquisition-bound, Ocean/Radix barrier-heavy, and
+Cholesky/Blackscholes/Swaptions/x264 essentially contention-free — and
+so spin time grows with the core count, as both Figure 3 and Figure 4
+show.  Imbalance does this naturally: per-interval thread work is drawn
+from a distribution, and the expected gap between the slowest thread
+and the rest widens as more samples are drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..isa.instructions import Kind
+from ..trace.phases import DEFAULT_MIX, FP_MIX, INT_MEM_MIX
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything needed to synthesise one benchmark's thread programs."""
+
+    name: str
+    suite: str                     # "splash2" | "parsec"
+    input_size: str                # Table 2 working set, for the record
+    mix: Dict[Kind, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    #: Barrier-separated intervals in the parallel phase.
+    barrier_intervals: int = 6
+    #: Mean dynamic instructions per thread per interval (at scale=1).
+    work_per_interval: int = 2600
+    #: Relative spread of per-thread work within an interval (lognormal
+    #: sigma): drives barrier spin time, growing with core count.
+    imbalance: float = 0.25
+    #: Lock acquisitions per thread per interval.
+    lock_ops_per_interval: int = 0
+    #: Dynamic instructions inside each critical section.
+    cs_len: int = 60
+    #: Number of distinct locks; 1 = fully contended global lock.
+    num_locks: int = 1
+    #: Working set in cache lines (64 B); > L1 capacity -> L1 misses.
+    footprint_lines: int = 3000
+    #: Fraction of accesses to globally shared (coherent) data.
+    shared_fraction: float = 0.05
+    #: Statistical instruction-level parallelism (see ComputePhase).
+    ilp: float = 0.70
+    #: Non-loop branch predictability.
+    branch_bias: float = 0.92
+    #: Static loop-body size (PC locality for PTHT/gshare).
+    loop_body: int = 64
+
+    def __post_init__(self) -> None:
+        if self.barrier_intervals < 1:
+            raise ValueError("need at least one interval")
+        if self.work_per_interval < 0 or self.cs_len < 0:
+            raise ValueError("work sizes must be non-negative")
+        if self.imbalance < 0:
+            raise ValueError("imbalance must be >= 0")
+        if self.num_locks < 1:
+            raise ValueError("need at least one lock id")
+
+
+#: SPLASH-2 suite (Table 2, top block).
+SPLASH2_SPECS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="barnes", suite="splash2", input_size="8192 bodies, 4 time steps",
+        mix=dict(FP_MIX), barrier_intervals=8, work_per_interval=2400,
+        imbalance=0.22, lock_ops_per_interval=3, cs_len=35, num_locks=16,
+        footprint_lines=6000, shared_fraction=0.12, ilp=0.72,
+    ),
+    BenchmarkSpec(
+        name="cholesky", suite="splash2", input_size="tk16.0",
+        mix=dict(FP_MIX), barrier_intervals=3, work_per_interval=6400,
+        imbalance=0.06, lock_ops_per_interval=2, cs_len=24, num_locks=32,
+        footprint_lines=4000, shared_fraction=0.08, ilp=0.78,
+        branch_bias=0.95,
+    ),
+    BenchmarkSpec(
+        name="fft", suite="splash2", input_size="256K complex doubles",
+        mix=dict(FP_MIX), barrier_intervals=6, work_per_interval=3200,
+        imbalance=0.30, footprint_lines=6000, shared_fraction=0.18,
+        ilp=0.80, branch_bias=0.97, loop_body=48,
+    ),
+    BenchmarkSpec(
+        name="ocean", suite="splash2", input_size="258x258 ocean",
+        mix=dict(FP_MIX), barrier_intervals=14, work_per_interval=1400,
+        imbalance=0.45, footprint_lines=6000, shared_fraction=0.15,
+        ilp=0.75, branch_bias=0.96, loop_body=56,
+    ),
+    BenchmarkSpec(
+        name="radix", suite="splash2", input_size="1M keys, 1024 radix",
+        mix=dict(INT_MEM_MIX), barrier_intervals=10, work_per_interval=1800,
+        imbalance=0.42, footprint_lines=8000, shared_fraction=0.22,
+        ilp=0.66, branch_bias=0.90, loop_body=40,
+    ),
+    BenchmarkSpec(
+        name="raytrace", suite="splash2", input_size="Teapot",
+        barrier_intervals=2, work_per_interval=7000, imbalance=0.25,
+        lock_ops_per_interval=2, cs_len=25, num_locks=1,  # work-queue lock
+        footprint_lines=5000, shared_fraction=0.10, ilp=0.70,
+        branch_bias=0.88,
+    ),
+    BenchmarkSpec(
+        name="tomcatv", suite="splash2", input_size="256 elements, 5 iterations",
+        mix=dict(FP_MIX), barrier_intervals=10, work_per_interval=1900,
+        imbalance=0.33, footprint_lines=6000, shared_fraction=0.12,
+        ilp=0.78, branch_bias=0.97, loop_body=72,
+    ),
+    BenchmarkSpec(
+        name="unstructured", suite="splash2", input_size="Mesh.2K, 5 time steps",
+        barrier_intervals=5, work_per_interval=2000, imbalance=0.30,
+        lock_ops_per_interval=3, cs_len=28, num_locks=2,
+        footprint_lines=5000, shared_fraction=0.20, ilp=0.62,
+        branch_bias=0.85, loop_body=36,
+    ),
+    BenchmarkSpec(
+        name="waternsq", suite="splash2", input_size="512 molecules, 4 time steps",
+        mix=dict(FP_MIX), barrier_intervals=8, work_per_interval=2100,
+        imbalance=0.22, lock_ops_per_interval=2, cs_len=30, num_locks=4,
+        footprint_lines=5000, shared_fraction=0.12, ilp=0.74,
+    ),
+    BenchmarkSpec(
+        name="watersp", suite="splash2", input_size="512 molecules, 4 time steps",
+        mix=dict(FP_MIX), barrier_intervals=8, work_per_interval=2300,
+        imbalance=0.30, lock_ops_per_interval=2, cs_len=25, num_locks=8,
+        footprint_lines=5000, shared_fraction=0.08, ilp=0.76,
+    ),
+)
+
+#: PARSEC subset (Table 2, bottom block) — the applications that
+#: finished within the authors' 3-day cluster limit.
+PARSEC_SPECS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="blackscholes", suite="parsec", input_size="simsmall",
+        mix=dict(FP_MIX), barrier_intervals=1, work_per_interval=18000,
+        imbalance=0.04, footprint_lines=3000, shared_fraction=0.02,
+        ilp=0.82, branch_bias=0.98, loop_body=80,
+    ),
+    BenchmarkSpec(
+        name="fluidanimate", suite="parsec", input_size="simsmall",
+        mix=dict(FP_MIX), barrier_intervals=5, work_per_interval=2200,
+        imbalance=0.25, lock_ops_per_interval=4, cs_len=25, num_locks=6,
+        footprint_lines=5000, shared_fraction=0.15, ilp=0.70,
+    ),
+    BenchmarkSpec(
+        name="swaptions", suite="parsec", input_size="simsmall",
+        mix=dict(FP_MIX), barrier_intervals=1, work_per_interval=17000,
+        imbalance=0.06, footprint_lines=4000, shared_fraction=0.02,
+        ilp=0.80, branch_bias=0.97,
+    ),
+    BenchmarkSpec(
+        name="x264", suite="parsec", input_size="simsmall",
+        mix=dict(INT_MEM_MIX), barrier_intervals=2, work_per_interval=8200,
+        imbalance=0.10, lock_ops_per_interval=3, cs_len=20, num_locks=8,
+        footprint_lines=6000, shared_fraction=0.06, ilp=0.68,
+        branch_bias=0.86, loop_body=44,
+    ),
+)
+
+ALL_SPECS: Tuple[BenchmarkSpec, ...] = SPLASH2_SPECS + PARSEC_SPECS
+
+SPECS_BY_NAME: Dict[str, BenchmarkSpec] = {s.name: s for s in ALL_SPECS}
+
+#: Benchmark order used by the paper's per-benchmark figures.
+BENCHMARK_ORDER: Tuple[str, ...] = tuple(s.name for s in ALL_SPECS)

@@ -1,0 +1,32 @@
+"""PARSEC benchmark models (Table 2, bottom block).
+
+The paper uses the PARSEC applications that finished within its
+simulation-time limit, all with ``simsmall`` inputs:
+
+* **blackscholes** — embarrassingly parallel option pricing: one long
+  compute region, synchronization only at the end (the paper notes it
+  "only synchronizes at the end of the code").
+* **fluidanimate** — SPH fluid: fine-grained cell locks with real
+  contention plus per-frame barriers; lock-bound like Unstructured.
+* **swaptions** — independent Monte-Carlo pricing, no contention.
+* **x264** — pipeline-parallel encoder: mostly busy, sparse locking on
+  reference-frame exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .characteristics import PARSEC_SPECS, BenchmarkSpec
+
+PARSEC_NAMES: Tuple[str, ...] = tuple(s.name for s in PARSEC_SPECS)
+
+
+def parsec_spec(name: str) -> BenchmarkSpec:
+    for s in PARSEC_SPECS:
+        if s.name == name:
+            return s
+    raise KeyError(f"{name!r} is not a PARSEC benchmark; see {PARSEC_NAMES}")
+
+
+__all__ = ["PARSEC_NAMES", "PARSEC_SPECS", "parsec_spec"]

@@ -1,0 +1,44 @@
+"""SPLASH-2 benchmark models (Table 2, top block).
+
+Convenience accessors for the ten SPLASH-2 applications the paper
+evaluates.  The specs live in :mod:`repro.workloads.characteristics`;
+this module exposes them by name and documents what each synthetic
+model captures of the original:
+
+* **barnes** — hierarchical N-body: tree-build critical sections over a
+  lock pool plus imbalanced per-body force computation between barriers.
+* **cholesky** — sparse factorisation: well-balanced task-queue code,
+  little contention (the paper singles it out as "well balanced").
+* **fft** — six transpose/compute steps separated by barriers, large
+  footprint, very predictable branches.
+* **ocean** — multigrid solver: many short barrier intervals with high
+  imbalance (the paper's worst AoPB case under the naive split).
+* **radix** — sort: barrier-separated counting/scan/permute steps with
+  heavy shared traffic and an integer/memory mix.
+* **raytrace** — a single contended work-queue lock feeding mostly
+  independent rays (lock-acquisition time dominates its sync profile).
+* **tomcatv** — mesh-generation kernel: iteration barriers, FP mix.
+* **unstructured** — irregular mesh: many small critical sections on
+  few locks; the paper's most lock-bound application.
+* **waternsq** — O(n^2) molecular dynamics: per-molecule lock pool plus
+  time-step barriers.
+* **watersp** — spatial variant: same structure, far fewer lock ops.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .characteristics import SPLASH2_SPECS, BenchmarkSpec
+
+SPLASH2_NAMES: Tuple[str, ...] = tuple(s.name for s in SPLASH2_SPECS)
+
+
+def splash2_spec(name: str) -> BenchmarkSpec:
+    for s in SPLASH2_SPECS:
+        if s.name == name:
+            return s
+    raise KeyError(f"{name!r} is not a SPLASH-2 benchmark; see {SPLASH2_NAMES}")
+
+
+__all__ = ["SPLASH2_NAMES", "SPLASH2_SPECS", "splash2_spec"]

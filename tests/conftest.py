@@ -1,0 +1,70 @@
+"""Shared fixtures: small configurations and programs for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CMPConfig
+from repro.isa.kmeans import default_token_classes
+from repro.power.model import TOKEN_UNIT_EU
+from repro.trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ParallelProgram,
+    ThreadProgram,
+)
+
+
+@pytest.fixture(scope="session")
+def token_map():
+    return default_token_classes(token_unit=TOKEN_UNIT_EU)
+
+
+@pytest.fixture
+def cfg4():
+    """A 4-core CMP with the paper's Table 1 parameters."""
+    return CMPConfig(num_cores=4)
+
+
+@pytest.fixture
+def cfg2():
+    return CMPConfig(num_cores=2)
+
+
+def make_compute(n=2000, **kw) -> ComputePhase:
+    kw.setdefault("footprint_lines", 512)
+    return ComputePhase(instructions=n, **kw)
+
+
+def make_program(
+    num_threads: int,
+    work: int = 1500,
+    barriers: int = 2,
+    lock_ops: int = 0,
+    cs_len: int = 40,
+    name: str = "test-prog",
+) -> ParallelProgram:
+    """A small, regular program: [compute, (lock cs)*, barrier] x N."""
+    threads = []
+    for t in range(num_threads):
+        phases = []
+        for b in range(barriers):
+            phases.append(make_compute(work))
+            for k in range(lock_ops):
+                phases.append(
+                    LockPhase(lock_id=0, critical_section=make_compute(cs_len))
+                )
+            phases.append(BarrierPhase(b))
+        threads.append(ThreadProgram(thread_id=t, phases=tuple(phases)))
+    return ParallelProgram(name=name, threads=tuple(threads))
+
+
+@pytest.fixture
+def small_program4():
+    return make_program(4)
+
+
+@pytest.fixture
+def lock_program4():
+    return make_program(4, work=800, barriers=1, lock_ops=3, cs_len=60)

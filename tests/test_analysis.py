@@ -1,0 +1,150 @@
+"""Tests for the experiment harness: runner cache, figures, TDP math."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig5_motivation,
+    fig7_barrier_token_flow,
+    fig8_balancer_constants,
+    table1_configuration,
+    table2_benchmarks,
+)
+from repro.analysis.report import (
+    format_breakdown,
+    format_metric_grid,
+    format_spin_power,
+    format_table,
+)
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.tdp import (
+    PAPER_CORE_COUNTS,
+    PAPER_ERRORS,
+    TDPScenario,
+    cores_under_tdp,
+    sec4d_table,
+)
+
+
+class TestRunnerCache:
+    def test_memoizes_in_process(self, tmp_path):
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path,
+                                  max_cycles=30_000)
+        a = runner.run("swaptions", 2, "none")
+        b = runner.run("swaptions", 2, "none")
+        assert a is b  # same object: in-memory hit
+
+    def test_persists_across_runners(self, tmp_path):
+        r1 = ExperimentRunner(scale="tiny", cache_dir=tmp_path,
+                              max_cycles=30_000)
+        a = r1.run("swaptions", 2, "none")
+        r2 = ExperimentRunner(scale="tiny", cache_dir=tmp_path,
+                              max_cycles=30_000)
+        b = r2.run("swaptions", 2, "none")
+        assert a.total_energy == pytest.approx(b.total_energy)
+        assert a.cycles == b.cycles
+
+    def test_distinct_recipes_distinct_results(self, tmp_path):
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path,
+                                  max_cycles=30_000)
+        base = runner.run("swaptions", 2, "none")
+        dvfs = runner.run("swaptions", 2, "dvfs")
+        assert base.technique != dvfs.technique
+
+    def test_no_cache_mode(self, tmp_path):
+        runner = ExperimentRunner(scale="tiny", cache_dir=tmp_path,
+                                  max_cycles=30_000, use_cache=False)
+        runner.run("swaptions", 2, "none")
+        assert not list(tmp_path.glob("run_*.pkl"))
+
+
+class TestStaticFigures:
+    def test_table1_text(self):
+        text = table1_configuration()
+        assert "3000 MHz" in text and "MOESI" in text
+
+    def test_table2_rows(self):
+        rows = table2_benchmarks()
+        assert len(rows) == 14
+        assert ("splash2", "ocean", "258x258 ocean") in rows
+
+    def test_fig5_motivating_example(self):
+        data = fig5_motivation()
+        assert data["global_budget"] == 40
+        assert data["local_budget"] == 10
+        rows = data["rows"]
+        # Paper: cycles 1, 2 and 4 exceed the global budget; cycle 3 not.
+        assert [r["over_global"] for r in rows] == [True, True, False, True]
+        # In cycle 1, cores 3&4 exceed local budgets (indices 2, 3).
+        assert rows[0]["naive_throttled"] == [2, 3]
+        # Cycle 3: no mechanism even though cores exceed local shares.
+        assert rows[2]["naive_throttled"] == []
+
+    def test_fig7_barrier_walkthrough_matches_paper(self):
+        steps = fig7_barrier_token_flow()
+        # Step a: core 2 (index 1) spins; others get 10+2.
+        assert steps[0]["pool"] == 6
+        assert set(steps[0]["effective_budgets"].values()) == {12}
+        # Step b: two spinners; remaining cores get 10+6.
+        assert set(steps[1]["effective_budgets"].values()) == {16}
+        # Step c: three spinners; the last core gets 10+18.
+        assert list(steps[2]["effective_budgets"].values()) == [28]
+
+    def test_fig8_constants(self):
+        data = fig8_balancer_constants()
+        assert data[4]["round_trip_cycles"] == 3
+        assert data[8]["round_trip_cycles"] == 5
+        assert data[16]["round_trip_cycles"] == 10
+        assert data[16]["power_overhead_pct"] == pytest.approx(1.0)
+
+
+class TestTDP:
+    def test_paper_numbers_reproduced(self):
+        """Section IV.D: DVFS -> 19 cores, 2level -> 22, PTB -> 29."""
+        for tech, cores in PAPER_CORE_COUNTS.items():
+            assert cores_under_tdp(PAPER_ERRORS[tech]) == cores
+
+    def test_perfect_accuracy_doubles_cores(self):
+        assert cores_under_tdp(0.0) == 32
+
+    def test_sec4d_table_includes_measured(self):
+        table = sec4d_table({"ptb": 0.08})
+        assert table["ptb"]["measured_cores"] >= 29
+        assert table["ideal"]["paper_cores"] == 32
+
+    def test_scenario_arithmetic(self):
+        sc = TDPScenario()
+        assert sc.baseline_per_core == pytest.approx(6.25)
+        assert sc.budget_per_core == pytest.approx(3.125)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            cores_under_tdp(-0.1)
+
+
+class TestReportFormatting:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [["x", 1.5], ["y", -2.0]])
+        assert "a" in text and "x" in text
+        assert "+1.5" in text and "-2.0" in text
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_metric_grid(self):
+        data = {
+            "ocean": {"dvfs": {"aopb_pct": 80.0}, "ptb": {"aopb_pct": 10.0}},
+        }
+        text = format_metric_grid(data, "aopb_pct", title="AoPB")
+        assert "AoPB" in text and "ocean" in text
+
+    def test_format_breakdown(self):
+        data = {"fft": {4: {"busy": 0.7, "lock_acq": 0.0,
+                            "lock_rel": 0.0, "barrier": 0.3}}}
+        text = format_breakdown(data)
+        assert "fft" in text and "70.0" in text
+
+    def test_format_spin_power(self):
+        data = {"fft": {2: 0.05, 4: 0.10}}
+        text = format_spin_power(data)
+        assert "fft" in text and "10.0" in text

@@ -1,0 +1,137 @@
+"""Tests for the PTB load-balancer (paper Section III.E)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budget.ptb import PTBLoadBalancer
+
+
+class TestDistributeToAll:
+    def test_equal_split(self):
+        grants = PTBLoadBalancer.distribute(12, [5, 5, 0, 5], "toall")
+        assert grants == [4, 4, 0, 4]
+
+    def test_remainder_spread(self):
+        grants = PTBLoadBalancer.distribute(10, [1, 1, 1, 0], "toall")
+        assert sorted(grants[:3]) == [3, 3, 4]
+        assert grants[3] == 0
+
+    def test_no_needy_no_grants(self):
+        assert PTBLoadBalancer.distribute(100, [0, 0, 0], "toall") == [0, 0, 0]
+
+    def test_empty_pool(self):
+        assert PTBLoadBalancer.distribute(0, [5, 5], "toall") == [0, 0]
+
+    def test_priority_core_included_even_if_not_over(self):
+        grants = PTBLoadBalancer.distribute(10, [0, 4, 0, 0], "toall",
+                                            priority=[2])
+        assert grants[2] > 0  # lock holder served proactively
+
+    def test_conservation(self):
+        grants = PTBLoadBalancer.distribute(17, [3, 9, 1, 4], "toall")
+        assert sum(grants) == 17
+
+
+class TestDistributeToOne:
+    def test_most_needy_served_first_and_fully(self):
+        grants = PTBLoadBalancer.distribute(100, [10, 40, 5, 0], "toone")
+        assert grants[1] == 80  # 2x its overshoot, served first
+        assert grants[0] > 0    # remainder flows down
+
+    def test_pool_exhausted_by_top_request(self):
+        grants = PTBLoadBalancer.distribute(30, [10, 40, 5, 0], "toone")
+        assert grants == [0, 30, 0, 0]
+
+    def test_priority_outranks_overshoot(self):
+        grants = PTBLoadBalancer.distribute(20, [0, 50, 0, 0], "toone",
+                                            priority=[3])
+        assert grants[3] > 0
+        # Priority core served before the raw-overshoot core.
+        assert grants[3] >= grants[1] or grants[1] < 50
+
+    def test_no_requests_no_grants(self):
+        assert PTBLoadBalancer.distribute(50, [0, 0], "toone") == [0, 0]
+
+    def test_conservation_never_exceeds_pool(self):
+        grants = PTBLoadBalancer.distribute(25, [30, 20, 10], "toone")
+        assert sum(grants) <= 25
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            PTBLoadBalancer.distribute(1, [1], "banana")
+
+
+class TestLatencyPipeline:
+    def test_no_grants_before_latency(self):
+        bal = PTBLoadBalancer(4, latency=3)
+        for _ in range(3):
+            grants = bal.cycle([5, 5, 0, 0], [0, 0, 9, 0], "toall")
+            assert grants == [0, 0, 0, 0]
+        grants = bal.cycle([5, 5, 0, 0], [0, 0, 9, 0], "toall")
+        assert grants[2] == 10  # cycle-0 reports arrive at cycle 3
+
+    def test_zero_latency_combinational(self):
+        bal = PTBLoadBalancer(2, latency=0)
+        grants = bal.cycle([7, 0], [0, 3], "toall")
+        assert grants == [0, 7]
+
+    def test_grants_reflect_old_snapshot(self):
+        bal = PTBLoadBalancer(2, latency=1)
+        bal.cycle([9, 0], [0, 1], "toall")     # t=0 report
+        grants = bal.cycle([0, 0], [0, 0], "toall")  # nothing now
+        assert grants == [0, 9]                # but t=0's spares arrive
+
+    def test_pending_pledge(self):
+        bal = PTBLoadBalancer(2, latency=3)
+        bal.cycle([4, 0], [0, 1], "toall")
+        bal.cycle([6, 0], [0, 1], "toall")
+        assert bal.pending_pledge(0) == 10
+        assert bal.pending_pledge(1) == 0
+
+    def test_granted_total_accumulates(self):
+        bal = PTBLoadBalancer(2, latency=0)
+        bal.cycle([5, 0], [0, 2], "toall")
+        bal.cycle([5, 0], [0, 2], "toall")
+        assert bal.granted_total == 10
+
+    def test_paper_latencies_used(self):
+        from repro.config import PTBConfig
+
+        cfg = PTBConfig()
+        assert PTBLoadBalancer(4, cfg.round_trip_latency(4)).latency == 3
+        assert PTBLoadBalancer(16, cfg.round_trip_latency(16)).latency == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PTBLoadBalancer(0, 1)
+        with pytest.raises(ValueError):
+            PTBLoadBalancer(4, -1)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pool=st.integers(0, 1000),
+        overs=st.lists(st.integers(0, 100), min_size=1, max_size=16),
+        policy=st.sampled_from(["toall", "toone"]),
+    )
+    def test_conservation_and_nonnegativity(self, pool, overs, policy):
+        grants = PTBLoadBalancer.distribute(pool, overs, policy)
+        assert sum(grants) <= max(pool, 0)
+        assert all(g >= 0 for g in grants)
+        # Tokens only flow to requesting cores (no priority hints here).
+        for g, o in zip(grants, overs):
+            if o == 0:
+                assert g == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pool=st.integers(1, 500),
+        overs=st.lists(st.integers(0, 50), min_size=2, max_size=8),
+    )
+    def test_toall_split_is_fair(self, pool, overs):
+        grants = PTBLoadBalancer.distribute(pool, overs, "toall")
+        needy_grants = [g for g, o in zip(grants, overs) if o > 0]
+        if needy_grants:
+            assert max(needy_grants) - min(needy_grants) <= 1

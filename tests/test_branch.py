@@ -1,0 +1,78 @@
+"""Tests for the gshare branch predictor."""
+
+import pytest
+
+from repro.core.branch import GsharePredictor
+
+
+class TestGshare:
+    def test_initial_state_weakly_taken(self):
+        p = GsharePredictor()
+        assert p.predict(0x400)
+
+    def test_learns_always_taken_loop(self):
+        p = GsharePredictor()
+        for _ in range(100):
+            p.update(0x400, True)
+        miss_before = p.mispredictions
+        for _ in range(100):
+            p.update(0x400, True)
+        assert p.mispredictions == miss_before  # perfect on the loop
+
+    def test_learns_always_not_taken(self):
+        p = GsharePredictor()
+        for _ in range(10):
+            p.update(0x800, False)
+        assert not p.predict(0x800)
+
+    def test_accuracy_on_biased_branch(self):
+        import random
+
+        rnd = random.Random(3)
+        p = GsharePredictor()
+        for _ in range(4000):
+            p.update(0x123C, rnd.random() < 0.9)
+        assert p.accuracy > 0.80
+
+    def test_random_branch_is_hard(self):
+        import random
+
+        rnd = random.Random(4)
+        p = GsharePredictor()
+        for _ in range(4000):
+            p.update(0x1240, rnd.random() < 0.5)
+        assert p.accuracy < 0.75
+
+    def test_history_length_mask(self):
+        p = GsharePredictor(history_bits=4)
+        for _ in range(100):
+            p.update(0, True)
+        assert p.history == 0xF
+
+    def test_alternating_pattern_learned_via_history(self):
+        """gshare separates T/NT contexts of a period-2 branch."""
+        p = GsharePredictor()
+        taken = True
+        for _ in range(2000):
+            p.update(0x5000, taken)
+            taken = not taken
+        miss_before = p.mispredictions
+        for _ in range(200):
+            p.update(0x5000, taken)
+            taken = not taken
+        recent_acc = 1 - (p.mispredictions - miss_before) / 200
+        assert recent_acc > 0.95
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bytes=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bytes=3000)  # not a power of two counters
+
+    def test_counters_saturate(self):
+        p = GsharePredictor()
+        p.history = 0
+        for _ in range(10):
+            i = p._index(0x100)
+            p._table[i] = min(3, p._table[i] + 1)
+        assert p._table[p._index(0x100)] == 3

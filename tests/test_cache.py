@@ -1,0 +1,132 @@
+"""Tests for the set-associative cache (repro.mem.cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def small_cache(sets=4, assoc=2):
+    return Cache(CacheConfig(sets * assoc * 64, assoc))
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.probe(0x100)
+        c.fill(0x100)
+        assert c.probe(0x100)
+        assert c.hits == 1
+        assert c.misses == 1
+
+    def test_contains_does_not_count(self):
+        c = small_cache()
+        c.fill(5)
+        assert c.contains(5)
+        assert not c.contains(6)
+        assert c.hits == 0
+        assert c.misses == 0
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(9)
+        assert c.invalidate(9)
+        assert not c.contains(9)
+        assert not c.invalidate(9)  # already gone
+
+    def test_fill_same_line_twice_no_eviction(self):
+        c = small_cache()
+        assert c.fill(3) is None
+        assert c.fill(3) is None
+        valid, _ = c.occupancy()
+        assert valid == 1
+
+    def test_flush(self):
+        c = small_cache()
+        for line in range(8):
+            c.fill(line)
+        c.flush()
+        assert c.occupancy()[0] == 0
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        c = small_cache(sets=1, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.probe(0)          # 0 is now MRU
+        victim = c.fill(2)  # evicts 1
+        assert victim == 1
+        assert c.contains(0)
+        assert c.contains(2)
+
+    def test_probe_refreshes_lru(self):
+        c = small_cache(sets=1, assoc=4)
+        for line in range(4):
+            c.fill(line)
+        c.probe(0)
+        c.probe(1)
+        victim = c.fill(99)
+        assert victim == 2  # oldest untouched
+
+    def test_eviction_counter(self):
+        c = small_cache(sets=1, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.fill(2)
+        assert c.evictions == 1
+
+    def test_set_isolation(self):
+        """Lines mapping to different sets never evict each other."""
+        c = small_cache(sets=4, assoc=1)
+        c.fill(0)  # set 0
+        c.fill(1)  # set 1
+        c.fill(2)  # set 2
+        assert c.contains(0) and c.contains(1) and c.contains(2)
+
+    def test_conflict_in_same_set(self):
+        c = small_cache(sets=4, assoc=1)
+        c.fill(0)
+        victim = c.fill(4)  # same set (line % 4 == 0)
+        assert victim == 0
+
+
+class TestOccupancyInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_never_exceeds_capacity(self, lines):
+        c = small_cache(sets=4, assoc=2)
+        for line in lines:
+            if not c.probe(line):
+                c.fill(line)
+        valid, capacity = c.occupancy()
+        assert valid <= capacity == 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    def test_fill_then_immediate_probe_hits(self, lines):
+        c = small_cache(sets=8, assoc=2)
+        for line in lines:
+            c.fill(line)
+            assert c.probe(line)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 31), min_size=5, max_size=100))
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        c = small_cache()
+        for line in lines:
+            c.probe(line)
+            c.fill(line)
+        assert c.hits + c.misses == c.accesses == len(lines)
+
+    def test_working_set_within_capacity_converges_to_hits(self):
+        c = small_cache(sets=8, assoc=2)  # 16 lines
+        lines = list(range(12))
+        for _ in range(3):
+            for line in lines:
+                if not c.probe(line):
+                    c.fill(line)
+        # Last two passes should be pure hits.
+        assert c.hits >= 2 * len(lines)

@@ -1,0 +1,37 @@
+"""Tests for the report-generation CLI."""
+
+import pytest
+
+from repro.analysis.cli import RENDERERS, main
+
+
+class TestCLI:
+    def test_all_figures_registered(self):
+        expected = {"table1", "table2", "sec4d"} | {
+            f"fig{i}" for i in range(2, 15)
+        }
+        assert set(RENDERERS) == expected
+
+    def test_writes_static_figures(self, tmp_path, capsys):
+        rc = main(["table1", "table2", "fig5", "fig7", "fig8",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        for name in ("table1", "table2", "fig5", "fig7", "fig8"):
+            f = tmp_path / f"{name}.txt"
+            assert f.exists()
+            assert f.read_text().strip()
+
+    def test_stdout_mode(self, capsys):
+        rc = main(["fig7", "--stdout"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--out", str(tmp_path)])
+
+    def test_table1_contents(self, tmp_path):
+        main(["table1", "--out", str(tmp_path)])
+        text = (tmp_path / "table1.txt").read_text()
+        assert "MOESI" in text and "3000 MHz" in text

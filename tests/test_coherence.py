@@ -1,0 +1,161 @@
+"""Tests for the MOESI directory protocol (repro.mem.coherence)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.mem.coherence import Directory, State
+from repro.noc.mesh import Mesh2D
+
+
+@pytest.fixture
+def directory():
+    mesh = Mesh2D(4, NetworkConfig())
+    return Directory(4, mesh, memory_latency=300)
+
+
+LINE = 0x40
+
+
+class TestReadPath:
+    def test_first_read_grants_exclusive(self, directory):
+        res = directory.read_miss(0, LINE)
+        assert directory.state_of(0, LINE) == State.E
+        assert not res.from_cache
+        assert res.latency >= 300  # memory fetch
+
+    def test_second_reader_shares(self, directory):
+        directory.read_miss(0, LINE)
+        res = directory.read_miss(1, LINE)
+        assert directory.state_of(1, LINE) == State.S
+        assert directory.state_of(0, LINE) == State.S  # E downgraded
+        assert res.from_cache
+        assert res.latency < 300
+
+    def test_read_from_modified_makes_owner(self, directory):
+        directory.write_miss(0, LINE)
+        res = directory.read_miss(1, LINE)
+        # MOESI: dirty copy stays on chip, previous writer becomes Owner.
+        assert directory.state_of(0, LINE) == State.O
+        assert directory.state_of(1, LINE) == State.S
+        assert res.from_cache
+
+    def test_many_readers_all_shared(self, directory):
+        for core in range(4):
+            directory.read_miss(core, LINE)
+        states = [directory.state_of(c, LINE) for c in range(4)]
+        assert states[0] in (State.E, State.S)
+        assert all(s in (State.S, State.E) for s in states)
+        directory.check_invariants()
+
+
+class TestWritePath:
+    def test_write_grants_modified(self, directory):
+        directory.write_miss(0, LINE)
+        assert directory.state_of(0, LINE) == State.M
+
+    def test_write_invalidates_sharers(self, directory):
+        directory.read_miss(0, LINE)
+        directory.read_miss(1, LINE)
+        directory.read_miss(2, LINE)
+        res = directory.write_miss(3, LINE)
+        assert res.invalidations >= 2
+        for core in range(3):
+            assert directory.state_of(core, LINE) == State.I
+        assert directory.state_of(3, LINE) == State.M
+
+    def test_write_steals_modified(self, directory):
+        directory.write_miss(0, LINE)
+        res = directory.write_miss(1, LINE)
+        assert directory.state_of(0, LINE) == State.I
+        assert directory.state_of(1, LINE) == State.M
+        assert res.from_cache  # dirty forward, not memory
+
+    def test_upgrade_from_shared(self, directory):
+        directory.read_miss(0, LINE)
+        directory.read_miss(1, LINE)
+        directory.write_miss(0, LINE)
+        assert directory.state_of(0, LINE) == State.M
+        assert directory.state_of(1, LINE) == State.I
+
+
+class TestEviction:
+    def test_clean_eviction_no_writeback(self, directory):
+        directory.read_miss(0, LINE)
+        assert directory.evict(0, LINE) is False
+        assert directory.state_of(0, LINE) == State.I
+
+    def test_dirty_eviction_writes_back(self, directory):
+        directory.write_miss(0, LINE)
+        assert directory.evict(0, LINE) is True
+        assert directory.writebacks == 1
+
+    def test_owner_eviction_writes_back(self, directory):
+        directory.write_miss(0, LINE)
+        directory.read_miss(1, LINE)  # 0 becomes O
+        assert directory.evict(0, LINE) is True
+
+    def test_evicting_uncached_is_noop(self, directory):
+        assert directory.evict(2, LINE) is False
+
+    def test_entry_removed_when_uncached(self, directory):
+        directory.read_miss(0, LINE)
+        directory.evict(0, LINE)
+        assert LINE not in directory._entries
+
+    def test_refetch_after_full_eviction_goes_to_memory(self, directory):
+        directory.read_miss(0, LINE)
+        directory.evict(0, LINE)
+        res = directory.read_miss(1, LINE)
+        assert not res.from_cache
+
+
+class TestLatencies:
+    def test_farther_cores_pay_more(self, directory):
+        directory.write_miss(0, 0)  # home of line 0 is core 0
+        a = directory.read_miss(1, 0).latency
+        directory2 = Directory(4, Mesh2D(4, NetworkConfig()), 300)
+        directory2.write_miss(0, 0)
+        b = directory2.read_miss(3, 0).latency
+        assert b >= a  # core 3 is farther from core 0 than core 1
+
+    def test_home_interleaving(self, directory):
+        assert directory.home_of(0) == 0
+        assert directory.home_of(1) == 1
+        assert directory.home_of(5) == 1
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "evict"]),
+                st.integers(0, 3),    # core
+                st.integers(0, 7),    # line
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_random_traffic_preserves_moesi_invariants(self, ops):
+        directory = Directory(4, Mesh2D(4, NetworkConfig()), 300)
+        for op, core, line in ops:
+            if op == "read":
+                directory.read_miss(core, line)
+            elif op == "write":
+                directory.write_miss(core, line)
+            else:
+                directory.evict(core, line)
+            directory.check_invariants()
+
+    def test_single_writer_invariant_explicit(self, directory):
+        directory.write_miss(0, LINE)
+        directory.write_miss(1, LINE)
+        directory.write_miss(2, LINE)
+        holders = [
+            c for c in range(4)
+            if directory.state_of(c, LINE) in (State.M, State.E, State.O)
+        ]
+        assert len(holders) == 1

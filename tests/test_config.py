@@ -1,0 +1,193 @@
+"""Tests for repro.config — the Table 1 configuration layer."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CMPConfig,
+    CoreConfig,
+    DEFAULT_CONFIG,
+    DFS_MODES,
+    DVFS_MODES,
+    DVFSConfig,
+    MemoryConfig,
+    NetworkConfig,
+    PTBConfig,
+    TechConfig,
+)
+
+
+class TestCacheConfig:
+    def test_l1_geometry_matches_table1(self):
+        l1 = DEFAULT_CONFIG.mem.l1d
+        assert l1.size_bytes == 64 * 1024
+        assert l1.assoc == 2
+        assert l1.latency == 1
+        assert l1.num_sets == 512
+
+    def test_l2_geometry_matches_table1(self):
+        l2 = DEFAULT_CONFIG.mem.l2_per_core
+        assert l2.size_bytes == 1024 * 1024
+        assert l2.assoc == 4
+        assert l2.latency == 12
+        assert l2.num_sets == 4096
+
+    def test_offset_bits(self):
+        assert CacheConfig(64 * 1024, 2).offset_bits == 6  # 64 B lines
+
+    def test_index_bits(self):
+        c = CacheConfig(64 * 1024, 2)
+        assert 1 << c.index_bits == c.num_sets
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(48 * 1024, 2)
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 1)
+
+
+class TestCoreConfig:
+    def test_table1_defaults(self):
+        c = CoreConfig()
+        assert c.rob_entries == 128
+        assert c.lsq_entries == 64
+        assert c.decode_width == 4
+        assert c.issue_width == 4
+        assert c.int_alu == 6
+        assert c.int_mult == 2
+        assert c.fp_alu == 4
+        assert c.fp_mult == 4
+        assert c.pipeline_stages == 14
+        assert c.bp_history_bits == 16
+        assert c.bp_table_bytes == 64 * 1024
+
+    def test_rejects_zero_rob(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_entries=0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(decode_width=0)
+
+
+class TestTechConfig:
+    def test_table1_defaults(self):
+        t = TechConfig()
+        assert t.process_nm == 32
+        assert t.frequency_mhz == 3000
+        assert t.vdd == 0.9
+
+    def test_cycle_time(self):
+        assert math.isclose(TechConfig().cycle_time_ns, 1 / 3)
+
+    def test_vth_must_be_below_vdd(self):
+        with pytest.raises(ValueError):
+            TechConfig(vth=0.95)
+
+
+class TestDVFSModes:
+    def test_five_modes(self):
+        assert len(DVFS_MODES) == 5
+
+    def test_paper_mode_values(self):
+        assert DVFS_MODES[0] == (1.00, 1.00)
+        assert DVFS_MODES[1] == (0.95, 0.95)
+        assert DVFS_MODES[2] == (0.90, 0.90)
+        assert DVFS_MODES[3] == (0.90, 0.75)
+        assert DVFS_MODES[4] == (0.90, 0.65)
+
+    def test_dfs_keeps_full_voltage(self):
+        assert all(v == 1.0 for v, _ in DFS_MODES)
+        assert [f for _, f in DFS_MODES] == [f for _, f in DVFS_MODES]
+
+    def test_dvfs_config_validation(self):
+        with pytest.raises(ValueError):
+            DVFSConfig(window_cycles=0)
+        with pytest.raises(ValueError):
+            DVFSConfig(modes=((1.0, 1.0),))
+        with pytest.raises(ValueError):
+            DVFSConfig(modes=((1.0, 1.0), (0.0, 0.5)))
+
+
+class TestPTBConfig:
+    def test_paper_latencies(self):
+        ptb = PTBConfig()
+        assert ptb.round_trip_latency(4) == 3
+        assert ptb.round_trip_latency(8) == 5
+        assert ptb.round_trip_latency(16) == 10
+
+    def test_two_core_latency_is_minimal(self):
+        assert PTBConfig().round_trip_latency(2) == 3
+
+    def test_clustering_caps_latency_above_16_cores(self):
+        ptb = PTBConfig(cluster_size=16)
+        assert ptb.round_trip_latency(64) == 10
+
+    def test_latency_override(self):
+        assert PTBConfig(latency_override=0).round_trip_latency(16) == 0
+
+    def test_power_overhead_is_one_percent(self):
+        assert PTBConfig().power_overhead == pytest.approx(0.01)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            PTBConfig(policy="magic")
+
+    def test_rejects_negative_relax(self):
+        with pytest.raises(ValueError):
+            PTBConfig(relax_threshold=-0.1)
+
+
+class TestCMPConfig:
+    def test_default_is_16_cores(self):
+        assert DEFAULT_CONFIG.num_cores == 16
+
+    @pytest.mark.parametrize("n,dims", [(2, (2, 1)), (4, (2, 2)),
+                                        (8, (4, 2)), (16, (4, 4))])
+    def test_mesh_dims(self, n, dims):
+        assert CMPConfig(num_cores=n).mesh_dims == dims
+
+    def test_with_cores(self):
+        assert DEFAULT_CONFIG.with_cores(8).num_cores == 8
+        # original untouched (frozen dataclass semantics)
+        assert DEFAULT_CONFIG.num_cores == 16
+
+    def test_with_ptb(self):
+        c = DEFAULT_CONFIG.with_ptb(policy="toone", relax_threshold=0.2)
+        assert c.ptb.policy == "toone"
+        assert c.ptb.relax_threshold == 0.2
+        assert DEFAULT_CONFIG.ptb.policy == "toall"
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CMPConfig(num_cores=0)
+
+    def test_describe_contains_table1_lines(self):
+        text = DEFAULT_CONFIG.describe()
+        assert "32 nanometres" in text
+        assert "3000 MHz" in text
+        assert "0.9 V" in text
+        assert "128 entries + 64 Load Store Queue" in text
+        assert "14 stages" in text
+        assert "MOESI" in text
+        assert "300 Cycles" in text
+        assert "2D mesh" in text
+        assert "4 bytes" in text
+
+    def test_memory_config_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(memory_latency=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(coherence_protocol="MOOSE")
+
+    def test_network_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(link_latency=0)

@@ -1,0 +1,118 @@
+"""Tests for the DVFS/DFS controller."""
+
+import pytest
+
+from repro.config import DVFSConfig
+from repro.power.dvfs import DVFSController
+
+
+def run_window(ctl, power, budget, cycles=None):
+    """Feed constant power for one full window."""
+    cycles = cycles if cycles is not None else ctl.cfg.window_cycles
+    executed = 0
+    for _ in range(cycles):
+        if ctl.tick(power, budget):
+            executed += 1
+    return executed
+
+
+class TestModeSelection:
+    def test_stays_at_full_speed_under_budget(self):
+        ctl = DVFSController(DVFSConfig())
+        run_window(ctl, power=10.0, budget=100.0)
+        assert ctl.mode == 0
+
+    def test_steps_down_when_over_budget(self):
+        ctl = DVFSController(DVFSConfig())
+        run_window(ctl, power=50.0, budget=40.0)
+        assert ctl.target_mode > 0
+
+    def test_selects_mode_that_fits(self):
+        ctl = DVFSController(DVFSConfig())
+        # Need scale <= 0.6 -> mode 4 (0.9^2*0.65 = 0.527).
+        run_window(ctl, power=100.0, budget=60.0)
+        assert ctl.target_mode == 4
+
+    def test_picks_mildest_sufficient_mode(self):
+        ctl = DVFSController(DVFSConfig())
+        # Need scale <= 0.9 -> mode 1 (0.857) suffices.
+        run_window(ctl, power=100.0, budget=90.0)
+        assert ctl.target_mode == 1
+
+    def test_steps_back_up_when_budget_relaxes(self):
+        ctl = DVFSController(DVFSConfig(transition_cycles_per_step=1))
+        run_window(ctl, power=100.0, budget=55.0)
+        for _ in range(10):
+            ctl.tick(40.0, float("inf"))
+        run_window(ctl, power=40.0, budget=float("inf"))
+        # allow the transition to complete
+        for _ in range(20):
+            ctl.tick(40.0, float("inf"))
+        assert ctl.mode == 0
+
+
+class TestTransitions:
+    def test_transition_latency_proportional_to_steps(self):
+        cfg = DVFSConfig(transition_cycles_per_step=10)
+        ctl = DVFSController(cfg)
+        run_window(ctl, power=100.0, budget=55.0)  # target mode 4
+        assert ctl.in_transition
+        assert ctl.mode == 0
+        for _ in range(4 * 10):
+            ctl.tick(100.0, 55.0)
+        assert not ctl.in_transition
+        assert ctl.mode == 4
+
+    def test_transition_pays_higher_voltage(self):
+        ctl = DVFSController(DVFSConfig())
+        run_window(ctl, power=100.0, budget=55.0)
+        assert ctl.in_transition
+        assert ctl.v_scale == max(ctl.modes[0][0], ctl.modes[4][0])
+        assert ctl.f_scale == min(ctl.modes[0][1], ctl.modes[4][1])
+
+    def test_transitions_counted(self):
+        ctl = DVFSController(DVFSConfig())
+        run_window(ctl, power=100.0, budget=55.0)
+        assert ctl.transitions == 1
+
+
+class TestFrequencySkipping:
+    def test_full_speed_executes_every_cycle(self):
+        ctl = DVFSController(DVFSConfig())
+        assert run_window(ctl, 1.0, 100.0, cycles=100) == 100
+
+    def test_low_mode_skips_cycles(self):
+        ctl = DVFSController(DVFSConfig(transition_cycles_per_step=0))
+        ctl.force_mode(4)  # f = 0.65
+        executed = run_window(ctl, 1.0, float("inf"), cycles=1000)
+        assert executed == pytest.approx(650, abs=10)
+
+    def test_mode2_rate(self):
+        # Window larger than the measurement so the controller holds mode 2.
+        ctl = DVFSController(DVFSConfig(window_cycles=4096))
+        ctl.force_mode(2)  # f = 0.90
+        executed = run_window(ctl, 1.0, float("inf"), cycles=1000)
+        assert executed == pytest.approx(900, abs=10)
+
+
+class TestDFS:
+    def test_dfs_never_lowers_voltage(self):
+        ctl = DVFSController(DVFSConfig(), dfs=True)
+        run_window(ctl, power=100.0, budget=55.0)
+        for _ in range(100):
+            ctl.tick(100.0, 55.0)
+        assert ctl.v_scale == 1.0
+
+    def test_dfs_has_less_headroom(self):
+        """DFS's deepest mode only reaches 65% power; DVFS reaches ~53%."""
+        dvfs = DVFSController(DVFSConfig())
+        dfs = DVFSController(DVFSConfig(), dfs=True)
+        v, f = dvfs.modes[-1]
+        assert v * v * f == pytest.approx(0.527, abs=0.01)
+        v, f = dfs.modes[-1]
+        assert v * v * f == pytest.approx(0.65, abs=0.01)
+
+    def test_force_mode_validation(self):
+        ctl = DVFSController(DVFSConfig())
+        with pytest.raises(ValueError):
+            ctl.force_mode(9)

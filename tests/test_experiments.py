@@ -1,0 +1,105 @@
+"""End-to-end tests of the per-figure experiment functions.
+
+These run the actual figure builders on a two-benchmark, two-core-count
+subset at tiny scale (seconds, uncached), checking structure and the
+invariants that hold at any scale.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig2_naive_split,
+    fig3_time_breakdown,
+    fig4_spin_power,
+    fig9_core_policy_sweep,
+    fig13_performance,
+    fig14_relaxed_ptb,
+)
+from repro.analysis.runner import ExperimentRunner
+
+SUBSET = ("ocean", "blackscholes")
+CORES = (2, 4)
+
+
+@pytest.fixture(scope="module")
+def tiny_runner(tmp_path_factory):
+    return ExperimentRunner(
+        scale="tiny",
+        cache_dir=tmp_path_factory.mktemp("cache"),
+        max_cycles=120_000,
+    )
+
+
+class TestFig2:
+    def test_structure_and_avg(self, tiny_runner):
+        data = fig2_naive_split(tiny_runner, cores=2, benchmarks=SUBSET)
+        assert set(data) == set(SUBSET) | {"Avg."}
+        for row in data.values():
+            assert set(row) == {"dvfs", "dfs", "2level"}
+            for m in row.values():
+                assert set(m) == {"energy_pct", "aopb_pct"}
+
+    def test_avg_is_mean_of_rows(self, tiny_runner):
+        data = fig2_naive_split(tiny_runner, cores=2, benchmarks=SUBSET)
+        manual = sum(data[b]["dvfs"]["aopb_pct"] for b in SUBSET) / 2
+        assert data["Avg."]["dvfs"]["aopb_pct"] == pytest.approx(manual)
+
+
+class TestFig3And4:
+    def test_breakdown_fractions_valid(self, tiny_runner):
+        data = fig3_time_breakdown(tiny_runner, core_counts=CORES,
+                                   benchmarks=SUBSET)
+        for bench in SUBSET:
+            for n in CORES:
+                fr = data[bench][n]
+                assert sum(fr.values()) == pytest.approx(1.0)
+                assert all(0.0 <= v <= 1.0 for v in fr.values())
+
+    def test_spin_power_bounds(self, tiny_runner):
+        data = fig4_spin_power(tiny_runner, core_counts=CORES,
+                               benchmarks=SUBSET)
+        for bench in list(SUBSET) + ["Avg."]:
+            for n in CORES:
+                assert 0.0 <= data[bench][n] < 1.0
+
+    def test_sync_heavy_spins_more_than_compute_bound(self, tiny_runner):
+        data = fig4_spin_power(tiny_runner, core_counts=(4,),
+                               benchmarks=SUBSET)
+        assert data["ocean"][4] > data["blackscholes"][4]
+
+
+class TestFig9Family:
+    def test_sweep_structure(self, tiny_runner):
+        data = fig9_core_policy_sweep(
+            tiny_runner, core_counts=(2,), policies=("toall",),
+            benchmarks=SUBSET,
+        )
+        assert set(data) == {"2Core_Toall"}
+        agg = data["2Core_Toall"]
+        assert set(agg) == {"dvfs", "dfs", "2level", "ptb"}
+
+    def test_ptb_wins_even_at_tiny_scale(self, tiny_runner):
+        data = fig9_core_policy_sweep(
+            tiny_runner, core_counts=(4,), policies=("toall",),
+            benchmarks=SUBSET,
+        )
+        agg = data["4Core_Toall"]
+        assert agg["ptb"]["aopb_pct"] < agg["dvfs"]["aopb_pct"]
+        assert agg["ptb"]["aopb_pct"] < agg["2level"]["aopb_pct"]
+
+    def test_relaxed_adds_column(self, tiny_runner):
+        data = fig14_relaxed_ptb(
+            tiny_runner, core_counts=(2,), policies=("toall",),
+            benchmarks=SUBSET,
+        )
+        agg = data["2Core_Toall"]
+        assert "ptb_relaxed" in agg
+        assert (
+            agg["ptb_relaxed"]["energy_pct"]
+            <= agg["ptb"]["energy_pct"] + 0.6
+        )
+
+    def test_performance_figure(self, tiny_runner):
+        data = fig13_performance(tiny_runner, cores=2, benchmarks=SUBSET)
+        assert set(data) == set(SUBSET) | {"Avg."}
+        assert all(-50.0 < v < 100.0 for v in data.values())

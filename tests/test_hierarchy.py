@@ -1,0 +1,162 @@
+"""Tests for the per-core cache hierarchy + coherence glue."""
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.mem.coherence import State
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.noc.mesh import Mesh2D
+from repro.trace.generator import SHARED_BASE
+
+
+@pytest.fixture
+def hier():
+    cfg = CMPConfig(num_cores=4)
+    return MemoryHierarchy(cfg, Mesh2D(4, cfg.net))
+
+
+PRIV = 1 << 34
+SHARED = SHARED_BASE
+
+
+class TestPrivatePath:
+    def test_cold_load_goes_to_memory(self, hier):
+        res = hier.load(0, PRIV)
+        assert not res.l1_hit
+        assert res.l2_access
+        assert res.mem_access
+        assert res.latency >= 300
+
+    def test_warm_load_hits_l1(self, hier):
+        hier.load(0, PRIV)
+        res = hier.load(0, PRIV)
+        assert res.l1_hit
+        assert res.latency == 0
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        hier.load(0, PRIV)
+        # Evict from L1 by filling its set (2 ways + 1 conflict).
+        l1 = hier.l1d[0]
+        set_stride = l1.num_sets * 64
+        hier.load(0, PRIV + set_stride)
+        hier.load(0, PRIV + 2 * set_stride)
+        res = hier.load(0, PRIV)
+        assert not res.l1_hit
+        assert res.l2_access
+        assert not res.mem_access
+        assert res.latency == 12
+
+    def test_private_store_write_allocates(self, hier):
+        res = hier.store(0, PRIV)
+        assert res.mem_access
+        res2 = hier.store(0, PRIV)
+        assert res2.l1_hit
+
+    def test_private_data_is_core_local(self, hier):
+        hier.load(0, PRIV)
+        res = hier.load(1, PRIV)  # different core: own hierarchy, cold
+        assert not res.l1_hit
+        assert res.mem_access
+
+
+class TestSharedPath:
+    def test_shared_load_engages_directory(self, hier):
+        res = hier.load(0, SHARED)
+        assert res.mem_access
+        line = hier.l1d[0].line_of(SHARED)
+        assert hier.directory.state_of(0, line) == State.E
+
+    def test_cache_to_cache_transfer(self, hier):
+        hier.load(0, SHARED)
+        res = hier.load(1, SHARED)
+        assert not res.mem_access  # supplied on-chip
+        assert res.flit_hops > 0
+
+    def test_store_invalidates_remote_readers(self, hier):
+        hier.load(0, SHARED)
+        hier.load(1, SHARED)
+        res = hier.store(2, SHARED)
+        assert res.invalidations >= 1
+        # Reader 0's next load must miss (its copy was invalidated).
+        res0 = hier.load(0, SHARED)
+        assert not res0.l1_hit
+
+    def test_store_hit_in_modified_is_free(self, hier):
+        hier.store(0, SHARED)
+        res = hier.store(0, SHARED)
+        assert res.l1_hit
+
+    def test_silent_e_to_m_upgrade(self, hier):
+        hier.load(0, SHARED)   # E
+        res = hier.store(0, SHARED)
+        assert res.l1_hit      # no traffic for E->M
+        line = hier.l1d[0].line_of(SHARED)
+        assert hier.directory.state_of(0, line) == State.M
+
+    def test_atomic_behaves_like_store(self, hier):
+        res = hier.atomic(0, SHARED)
+        line = hier.l1d[0].line_of(SHARED)
+        assert hier.directory.state_of(0, line) == State.M
+
+    def test_is_shared_line_boundary(self, hier):
+        assert hier.is_shared_line(hier.l1d[0].line_of(SHARED))
+        assert not hier.is_shared_line(hier.l1d[0].line_of(PRIV))
+
+
+class TestInstructionFetch:
+    def test_cold_fetch_misses(self, hier):
+        res = hier.fetch_instr(0, 0x1000)
+        assert res.latency > 0
+
+    def test_warm_fetch_hits(self, hier):
+        hier.fetch_instr(0, 0x1000)
+        res = hier.fetch_instr(0, 0x1000)
+        assert res.l1_hit
+        assert res.latency == 0
+
+    def test_same_line_fetch_hits(self, hier):
+        hier.fetch_instr(0, 0x1000)
+        res = hier.fetch_instr(0, 0x1004)  # same 64 B line
+        assert res.l1_hit
+
+
+class TestPrewarm:
+    def test_prewarm_fills_l2(self, hier):
+        line = hier.l2[0].line_of(PRIV)
+        hier.prewarm(0, range(line, line + 64))
+        res = hier.load(0, PRIV)
+        assert not res.mem_access
+        assert res.latency == 12
+
+    def test_prewarm_shared_enters_s_state(self, hier):
+        line = hier.l1d[0].line_of(SHARED)
+        hier.prewarm(0, range(0), range(line, line + 8))
+        assert hier.directory.state_of(0, line) == State.S
+
+    def test_prewarm_does_not_pollute_stats(self, hier):
+        line = hier.l2[0].line_of(PRIV)
+        hier.prewarm(0, range(line, line + 128))
+        assert hier.l2[0].hits == 0
+        assert hier.l2[0].misses == 0
+
+
+class TestInclusive:
+    def test_l2_eviction_back_invalidates_l1(self, hier):
+        cfg = CMPConfig(num_cores=1)
+        h = MemoryHierarchy(cfg, Mesh2D(1, cfg.net))
+        l2 = h.l2[0]
+        base_line = l2.line_of(PRIV)
+        # Fill one L2 set completely, then one more to force an eviction.
+        stride = l2.num_sets
+        addrs = [PRIV + i * stride * 64 for i in range(l2.assoc + 1)]
+        for a in addrs:
+            h.load(0, a)
+        victim_line = l2.line_of(addrs[0])
+        assert not h.l1d[0].contains(victim_line)
+
+    def test_miss_rates_reporting(self, hier):
+        hier.load(0, PRIV)
+        hier.load(0, PRIV)
+        rates = hier.miss_rates(0)
+        assert 0.0 <= rates["l1d"] <= 1.0
+        assert rates["l1d"] == pytest.approx(0.5)

@@ -1,0 +1,135 @@
+"""Cross-component property-based invariants (hypothesis).
+
+These fuzz the interfaces that couple subsystems: the PTB controller's
+token conservation under arbitrary power inputs, the memory hierarchy's
+coherence invariants under random multi-core traffic, and the trace
+generator feeding the pipeline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budget.ptb import PTBController
+from repro.config import CMPConfig
+from repro.mem.coherence import State
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.noc.mesh import Mesh2D
+from repro.power.model import EnergyModel
+from repro.trace.generator import SHARED_BASE
+
+
+@pytest.fixture(scope="module")
+def ptb_env():
+    cfg = CMPConfig(num_cores=4)
+    energy = EnergyModel(cfg)
+    budget = 0.5 * energy.global_peak_power(4)
+    return cfg, energy, budget
+
+
+class TestPTBConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(*[st.floats(5.0, 80.0) for _ in range(4)]),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    def test_grants_never_exceed_reported_spares(self, power_seq):
+        cfg = CMPConfig(num_cores=4)
+        energy = EnergyModel(cfg)
+        budget = 0.5 * energy.global_peak_power(4)
+        ctl = PTBController(cfg, energy, budget, policy="toall")
+        unctrl = energy.uncontrollable_power
+        max_spares_seen = 0
+        for cyc, powers in enumerate(power_seq):
+            tokens = [
+                max(0, int(energy.eu_to_tokens(p - unctrl))) for p in powers
+            ]
+            ctl.end_cycle(cyc, tokens, list(powers))
+            max_spares_seen = max(
+                max_spares_seen, sum(ctl._last_spares)
+            )
+            # Grants delivered this cycle cannot exceed the biggest pool
+            # ever reported (token conservation through the pipeline).
+            assert sum(ctl._grants) <= max_spares_seen
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.tuples(*[st.floats(5.0, 80.0) for _ in range(4)]),
+    )
+    def test_budget_lines_conserve_global_sum(self, powers):
+        cfg = CMPConfig(num_cores=4)
+        energy = EnergyModel(cfg)
+        budget = 0.5 * energy.global_peak_power(4)
+        ctl = PTBController(cfg, energy, budget, policy="toall")
+        unctrl = energy.uncontrollable_power
+        for cyc in range(25):
+            tokens = [
+                max(0, int(energy.eu_to_tokens(p - unctrl))) for p in powers
+            ]
+            ctl.end_cycle(cyc, tokens, list(powers))
+            # Lines above the local share are funded by real spares:
+            # Sum(lines) stays within the global budget plus the spares
+            # that will go unused by their donors.
+            raised = sum(
+                max(0.0, line - ctl.local_budget)
+                for line in ctl.budget_lines
+            )
+            spare_now = sum(
+                max(0.0, ctl.local_budget - p) for p in powers
+            )
+            assert raised <= spare_now + 1.0  # rounding slack
+
+
+class TestHierarchyInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["load", "store", "atomic"]),
+                st.integers(0, 3),          # core
+                st.integers(0, 15),         # shared line index
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_random_shared_traffic_keeps_moesi_invariants(self, ops):
+        cfg = CMPConfig(num_cores=4)
+        hier = MemoryHierarchy(cfg, Mesh2D(4, cfg.net))
+        for op, core, idx in ops:
+            addr = SHARED_BASE + idx * 64
+            getattr(hier, op)(core, addr)
+            hier.directory.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 30)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_store_then_load_same_core_always_hits(self, pairs):
+        cfg = CMPConfig(num_cores=4)
+        hier = MemoryHierarchy(cfg, Mesh2D(4, cfg.net))
+        for core, idx in pairs:
+            addr = SHARED_BASE + idx * 64
+            hier.store(core, addr)
+            res = hier.load(core, addr)
+            assert res.l1_hit  # nothing between the store and the load
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 20))
+    def test_writer_sees_own_data_after_remote_write(self, a, b, idx):
+        cfg = CMPConfig(num_cores=4)
+        hier = MemoryHierarchy(cfg, Mesh2D(4, cfg.net))
+        addr = SHARED_BASE + idx * 64
+        hier.store(a, addr)
+        hier.store(b, addr)
+        line = hier.l1d[b].line_of(addr)
+        assert hier.directory.state_of(b, line) == State.M
+        if a != b:
+            assert hier.directory.state_of(a, line) == State.I

@@ -1,0 +1,69 @@
+"""Tests for the instruction model (repro.isa.instructions)."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BASE_ENERGY,
+    EXEC_LATENCY,
+    SPIN_LOOP_KINDS,
+    Instruction,
+    Kind,
+)
+
+
+class TestKinds:
+    def test_every_kind_has_latency_and_energy(self):
+        for kind in Kind:
+            assert kind in EXEC_LATENCY
+            assert kind in BASE_ENERGY
+
+    def test_latencies_positive(self):
+        assert all(v >= 1 for v in EXEC_LATENCY.values())
+
+    def test_multiplies_slower_than_adds(self):
+        assert EXEC_LATENCY[Kind.INT_MULT] > EXEC_LATENCY[Kind.INT_ALU]
+        assert EXEC_LATENCY[Kind.FP_MULT] > EXEC_LATENCY[Kind.FP_ALU]
+
+    def test_fp_costs_more_energy_than_int(self):
+        assert BASE_ENERGY[Kind.FP_ALU] > BASE_ENERGY[Kind.INT_ALU]
+        assert BASE_ENERGY[Kind.FP_MULT] > BASE_ENERGY[Kind.INT_MULT]
+
+    def test_fp_mult_is_most_expensive(self):
+        assert BASE_ENERGY[Kind.FP_MULT] == max(BASE_ENERGY.values())
+
+    def test_nop_is_cheapest(self):
+        assert BASE_ENERGY[Kind.NOP] == min(BASE_ENERGY.values())
+
+    def test_atomic_costs_more_than_plain_store(self):
+        assert BASE_ENERGY[Kind.ATOMIC] > BASE_ENERGY[Kind.STORE]
+
+
+class TestInstruction:
+    def test_mem_predicate(self):
+        assert Instruction(0, Kind.LOAD, mem_addr=64).is_mem
+        assert Instruction(0, Kind.STORE, mem_addr=64).is_mem
+        assert Instruction(0, Kind.ATOMIC, mem_addr=64).is_mem
+        assert not Instruction(0, Kind.INT_ALU).is_mem
+        assert not Instruction(0, Kind.BRANCH).is_mem
+
+    def test_latency_property(self):
+        assert Instruction(0, Kind.FP_MULT).exec_latency == EXEC_LATENCY[Kind.FP_MULT]
+
+    def test_energy_property(self):
+        assert Instruction(0, Kind.LOAD).base_energy == BASE_ENERGY[Kind.LOAD]
+
+    def test_frozen(self):
+        instr = Instruction(0, Kind.LOAD)
+        with pytest.raises(AttributeError):
+            instr.pc = 4
+
+
+class TestSpinLoop:
+    def test_spin_loop_shape(self):
+        # test (load) - compare (alu) - backward branch
+        assert SPIN_LOOP_KINDS == (Kind.LOAD, Kind.INT_ALU, Kind.BRANCH)
+
+    def test_spin_loop_is_cheap(self):
+        spin_cost = sum(BASE_ENERGY[k] for k in SPIN_LOOP_KINDS)
+        expensive = BASE_ENERGY[Kind.FP_MULT] * len(SPIN_LOOP_KINDS)
+        assert spin_cost < expensive

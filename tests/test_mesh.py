@@ -1,0 +1,97 @@
+"""Tests for the 2D-mesh interconnect (repro.noc.mesh)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.noc.mesh import Mesh2D
+
+
+@pytest.fixture
+def mesh16():
+    return Mesh2D(16, NetworkConfig())
+
+
+class TestTopology:
+    @pytest.mark.parametrize("n,w,h", [(2, 2, 1), (4, 2, 2), (8, 4, 2), (16, 4, 4)])
+    def test_dims(self, n, w, h):
+        m = Mesh2D(n, NetworkConfig())
+        assert (m.width, m.height) == (w, h)
+
+    def test_coords_unique(self, mesh16):
+        coords = {(mesh16.coord_of(i).x, mesh16.coord_of(i).y) for i in range(16)}
+        assert len(coords) == 16
+
+    def test_coord_out_of_range(self, mesh16):
+        with pytest.raises(ValueError):
+            mesh16.coord_of(16)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, NetworkConfig())
+
+
+class TestRouting:
+    def test_hop_count_self_is_zero(self, mesh16):
+        assert mesh16.hop_count(5, 5) == 0
+
+    def test_hop_count_neighbours(self, mesh16):
+        assert mesh16.hop_count(0, 1) == 1
+        assert mesh16.hop_count(0, 4) == 1  # one row down
+
+    def test_hop_count_corners(self, mesh16):
+        assert mesh16.hop_count(0, 15) == 6  # (0,0) -> (3,3)
+
+    def test_hop_count_symmetric(self, mesh16):
+        for a in range(16):
+            for b in range(16):
+                assert mesh16.hop_count(a, b) == mesh16.hop_count(b, a)
+
+    def test_route_endpoints(self, mesh16):
+        route = mesh16.route(0, 15)
+        assert route[0] == 0
+        assert route[-1] == 15
+
+    def test_route_length_matches_hops(self, mesh16):
+        for a, b in [(0, 15), (3, 12), (5, 5), (7, 8)]:
+            route = mesh16.route(a, b)
+            assert len(route) - 1 == mesh16.hop_count(a, b)
+
+    def test_route_steps_are_adjacent(self, mesh16):
+        route = mesh16.route(2, 13)
+        for u, v in zip(route, route[1:]):
+            assert mesh16.hop_count(u, v) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_triangle_inequality(self, a, b):
+        m = Mesh2D(16, NetworkConfig())
+        for c in range(16):
+            assert m.hop_count(a, b) <= m.hop_count(a, c) + m.hop_count(c, b)
+
+
+class TestLatencyAndEnergy:
+    def test_zero_hops_zero_latency(self, mesh16):
+        assert mesh16.traversal_latency(0) == 0
+
+    def test_per_hop_cost_matches_table1(self, mesh16):
+        # One hop: 4-cycle link + 1-cycle router head latency, plus
+        # 15 extra flit cycles for a 64 B line at 4 B/flit.
+        assert mesh16.traversal_latency(1, payload_bytes=64) == 5 + 15
+
+    def test_small_payload_has_no_serialisation_tail(self, mesh16):
+        assert mesh16.traversal_latency(2, payload_bytes=4) == 10
+
+    def test_latency_monotonic_in_hops(self, mesh16):
+        lats = [mesh16.traversal_latency(h) for h in range(7)]
+        assert lats == sorted(lats)
+
+    def test_record_message_counts_flit_hops(self, mesh16):
+        fh = mesh16.record_message(hops=3, payload_bytes=64)
+        assert fh == 16 * 3
+        assert mesh16.flit_hops == fh
+        assert mesh16.messages == 1
+
+    def test_record_message_minimum_one_flit(self, mesh16):
+        assert mesh16.record_message(hops=2, payload_bytes=1) == 2

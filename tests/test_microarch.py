@@ -1,0 +1,97 @@
+"""Tests for the second-level microarchitectural throttles."""
+
+import pytest
+
+from repro.power.microarch import (
+    MicroarchThrottle,
+    Technique,
+    select_technique,
+)
+
+
+class TestSelection:
+    def test_no_overshoot_no_technique(self):
+        assert select_technique(0.0) == Technique.NONE
+        assert select_technique(-0.5) == Technique.NONE
+
+    def test_tiny_overshoot_light_throttle(self):
+        assert select_technique(0.03) == Technique.FETCH_LIGHT
+
+    def test_moderate_overshoot_fetch_throttle(self):
+        assert select_technique(0.10) == Technique.FETCH_THROTTLE
+
+    def test_large_overshoot_fetch_gate(self):
+        assert select_technique(0.20) == Technique.FETCH_GATE
+
+    def test_severe_overshoot_issue_half(self):
+        assert select_technique(0.40) == Technique.ISSUE_HALF
+
+    def test_extreme_overshoot_pipeline_gate(self):
+        assert select_technique(0.80) == Technique.PIPELINE_GATE
+
+    def test_selection_monotonic(self):
+        levels = [select_technique(x / 100) for x in range(0, 100, 2)]
+        assert levels == sorted(levels)
+
+
+class TestThrottleActuation:
+    def test_none_always_fetches(self):
+        th = MicroarchThrottle()
+        allowed = []
+        for _ in range(8):
+            th.tick()
+            allowed.append(th.fetch_allowed)
+        assert all(allowed)
+
+    def test_fetch_light_skips_quarter(self):
+        th = MicroarchThrottle()
+        th.set(Technique.FETCH_LIGHT)
+        allowed = []
+        for _ in range(16):
+            th.tick()
+            allowed.append(th.fetch_allowed)
+        assert allowed.count(False) == 4
+
+    def test_fetch_throttle_alternates(self):
+        th = MicroarchThrottle()
+        th.set(Technique.FETCH_THROTTLE)
+        allowed = []
+        for _ in range(16):
+            th.tick()
+            allowed.append(th.fetch_allowed)
+        assert allowed.count(True) == 8
+
+    def test_fetch_gate_blocks_all(self):
+        th = MicroarchThrottle()
+        th.set(Technique.FETCH_GATE)
+        for _ in range(8):
+            th.tick()
+            assert not th.fetch_allowed
+
+    def test_issue_half_width(self):
+        th = MicroarchThrottle()
+        th.set(Technique.ISSUE_HALF)
+        assert th.issue_width(4) == 2
+        assert th.issue_width(1) == 1  # never zero
+
+    def test_pipeline_gate_zero_issue(self):
+        th = MicroarchThrottle()
+        th.set(Technique.PIPELINE_GATE)
+        assert th.issue_width(4) == 0
+        assert not th.fetch_allowed
+
+    def test_full_width_when_not_issue_limited(self):
+        th = MicroarchThrottle()
+        th.set(Technique.FETCH_GATE)
+        assert th.issue_width(4) == 4
+
+    def test_engagement_statistics(self):
+        th = MicroarchThrottle()
+        th.set(Technique.FETCH_GATE)
+        for _ in range(5):
+            th.tick()
+        th.set(Technique.NONE)
+        for _ in range(5):
+            th.tick()
+        assert th.engaged_cycles == 5
+        assert th.by_technique[Technique.FETCH_GATE] == 5

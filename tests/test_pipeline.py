@@ -1,0 +1,222 @@
+"""Tests for the out-of-order core model (repro.core.pipeline)."""
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.core.pipeline import Core, SyncPhase
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.noc.mesh import Mesh2D
+from repro.sync.primitives import SyncDomain
+from repro.trace.generator import ThreadTraceGenerator
+from repro.trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ThreadProgram,
+)
+from repro.isa.instructions import Kind
+
+
+def make_core(phases, cfg=None, token_map=None, core_id=0, n_cores=2,
+              shared=None):
+    cfg = cfg or CMPConfig(num_cores=n_cores)
+    mesh = Mesh2D(n_cores, cfg.net)
+    hier = shared[0] if shared else MemoryHierarchy(cfg, mesh)
+    dom = shared[1] if shared else SyncDomain(n_cores, mesh)
+    if token_map is None:
+        from repro.isa.kmeans import default_token_classes
+        from repro.power.model import TOKEN_UNIT_EU
+
+        token_map = default_token_classes(token_unit=TOKEN_UNIT_EU)
+    gen = ThreadTraceGenerator(
+        ThreadProgram(thread_id=core_id, phases=tuple(phases)), seed=3
+    )
+    return Core(core_id, cfg, token_map, hier, dom, gen), hier, dom
+
+
+def run_to_completion(core, max_cycles=100_000, **stepkw):
+    cycle = 0
+    while not core.done and cycle < max_cycles:
+        core.step(cycle, **stepkw)
+        cycle += 1
+    return cycle
+
+
+class TestBasicExecution:
+    def test_completes_compute_program(self, token_map):
+        core, _, _ = make_core([ComputePhase(2000, footprint_lines=128)],
+                               token_map=token_map)
+        cycles = run_to_completion(core)
+        assert core.done
+        assert core.committed == 2000
+        assert 0 < cycles < 50_000
+
+    def test_rob_never_overflows(self, token_map):
+        core, _, _ = make_core([ComputePhase(3000, footprint_lines=128)],
+                               token_map=token_map)
+        cycle = 0
+        while not core.done and cycle < 50_000:
+            core.step(cycle)
+            assert core.rob_occupancy <= core.rob_entries
+            cycle += 1
+
+    def test_high_ilp_runs_faster(self, token_map):
+        fast, _, _ = make_core(
+            [ComputePhase(4000, ilp=1.0, footprint_lines=64,
+                          mix={Kind.INT_ALU: 1.0})],
+            token_map=token_map,
+        )
+        slow, _, _ = make_core(
+            [ComputePhase(4000, ilp=0.0, footprint_lines=64,
+                          mix={Kind.INT_ALU: 1.0})],
+            token_map=token_map,
+        )
+        assert run_to_completion(fast) < run_to_completion(slow)
+
+    def test_fetch_gating_stops_progress(self, token_map):
+        core, _, _ = make_core([ComputePhase(1000)], token_map=token_map)
+        for cycle in range(200):
+            core.step(cycle, fetch_allowed=False)
+        assert core.committed == 0
+
+    def test_idle_cycle_consumes_nothing(self, token_map):
+        core, _, _ = make_core([ComputePhase(100)], token_map=token_map)
+        core.idle_cycle(0)
+        assert core.events.n_fetched == 0
+        assert not core.events.active
+
+    def test_events_populated_during_execution(self, token_map):
+        core, _, _ = make_core([ComputePhase(2000, footprint_lines=64)],
+                               token_map=token_map)
+        run_to_completion(core)
+        # Tokens were consumed and PTHT was exercised.
+        assert core.accountant.total_consumed > 0
+        assert core.accountant.ptht.updates > 0
+
+
+class TestSynchronization:
+    def test_two_cores_pass_a_barrier(self, token_map):
+        cfg = CMPConfig(num_cores=2)
+        mesh = Mesh2D(2, cfg.net)
+        hier = MemoryHierarchy(cfg, mesh)
+        dom = SyncDomain(2, mesh)
+        phases = [ComputePhase(200, footprint_lines=64), BarrierPhase(0)]
+        cores = []
+        for tid in range(2):
+            c, _, _ = make_core(phases, cfg=cfg, token_map=token_map,
+                                core_id=tid, n_cores=2, shared=(hier, dom))
+            cores.append(c)
+        cycle = 0
+        while not all(c.done for c in cores) and cycle < 100_000:
+            for c in cores:
+                if not c.done:
+                    c.step(cycle)
+            cycle += 1
+        assert all(c.done for c in cores)
+        assert dom.barrier(0).episodes == 1
+
+    def test_unbalanced_barrier_creates_spin(self, token_map):
+        cfg = CMPConfig(num_cores=2)
+        mesh = Mesh2D(2, cfg.net)
+        hier = MemoryHierarchy(cfg, mesh)
+        dom = SyncDomain(2, mesh)
+        fast, _, _ = make_core(
+            [ComputePhase(100, footprint_lines=64), BarrierPhase(0)],
+            cfg=cfg, token_map=token_map, core_id=0, shared=(hier, dom))
+        slow, _, _ = make_core(
+            [ComputePhase(6000, footprint_lines=64), BarrierPhase(0)],
+            cfg=cfg, token_map=token_map, core_id=1, shared=(hier, dom))
+        spin_cycles = 0
+        cycle = 0
+        while not (fast.done and slow.done) and cycle < 100_000:
+            for c in (fast, slow):
+                if not c.done:
+                    c.step(cycle)
+            if fast.is_spinning:
+                spin_cycles += 1
+            cycle += 1
+        assert spin_cycles > 100
+        assert fast.spin_iterations > 10
+
+    def test_lock_mutual_exclusion(self, token_map):
+        cfg = CMPConfig(num_cores=2)
+        mesh = Mesh2D(2, cfg.net)
+        hier = MemoryHierarchy(cfg, mesh)
+        dom = SyncDomain(2, mesh)
+        phases = [
+            LockPhase(0, ComputePhase(300, footprint_lines=64)),
+            LockPhase(0, ComputePhase(300, footprint_lines=64)),
+        ]
+        cores = []
+        for tid in range(2):
+            c, _, _ = make_core(phases, cfg=cfg, token_map=token_map,
+                                core_id=tid, shared=(hier, dom))
+            cores.append(c)
+        cycle = 0
+        while not all(c.done for c in cores) and cycle < 200_000:
+            for c in cores:
+                if not c.done:
+                    c.step(cycle)
+            # Mutual exclusion: the domain never has two owners.
+            lk = dom.lock(0)
+            assert lk.owner is None or isinstance(lk.owner, int)
+            cycle += 1
+        assert all(c.done for c in cores)
+        assert dom.lock(0).acquires == 4
+
+    def test_sync_phase_tracking(self, token_map):
+        cfg = CMPConfig(num_cores=2)
+        mesh = Mesh2D(2, cfg.net)
+        hier = MemoryHierarchy(cfg, mesh)
+        dom = SyncDomain(2, mesh)
+        phases = [
+            LockPhase(0, ComputePhase(400, footprint_lines=64)),
+            BarrierPhase(0),
+        ]
+        cores = []
+        for tid in range(2):
+            c, _, _ = make_core(phases, cfg=cfg, token_map=token_map,
+                                core_id=tid, shared=(hier, dom))
+            cores.append(c)
+        seen = set()
+        cycle = 0
+        while not all(c.done for c in cores) and cycle < 200_000:
+            for c in cores:
+                if not c.done:
+                    c.step(cycle)
+                    seen.add(c.sync_phase)
+            cycle += 1
+        assert SyncPhase.BUSY in seen
+        assert SyncPhase.LOCK_ACQ in seen
+        assert SyncPhase.BARRIER in seen
+
+
+class TestSpinPowerSignature:
+    def test_spinning_cheaper_than_computing(self, token_map):
+        """The Figure 6 property: spin power below busy power."""
+        cfg = CMPConfig(num_cores=2)
+        mesh = Mesh2D(2, cfg.net)
+        hier = MemoryHierarchy(cfg, mesh)
+        dom = SyncDomain(2, mesh)
+        from repro.power.model import EnergyModel
+
+        energy = EnergyModel(cfg)
+        fast, _, _ = make_core(
+            [ComputePhase(50, footprint_lines=64), BarrierPhase(0)],
+            cfg=cfg, token_map=token_map, core_id=0, shared=(hier, dom))
+        slow, _, _ = make_core(
+            [ComputePhase(20000, footprint_lines=64), BarrierPhase(0)],
+            cfg=cfg, token_map=token_map, core_id=1, shared=(hier, dom))
+        spin_p, spin_n, busy_p, busy_n = 0.0, 0, 0.0, 0
+        for cycle in range(12_000):
+            for c in (fast, slow):
+                if not c.done:
+                    c.step(cycle)
+            if fast.is_spinning and cycle > 2000:
+                spin_p += energy.cycle_power(fast.events)
+                spin_n += 1
+            if not slow.done and cycle > 2000:
+                busy_p += energy.cycle_power(slow.events)
+                busy_n += 1
+        assert spin_n > 0 and busy_n > 0
+        assert spin_p / spin_n < 0.8 * (busy_p / busy_n)

@@ -1,0 +1,113 @@
+"""Tests for SimResult metrics and normalizations."""
+
+import pytest
+
+from repro.sim.results import (
+    PHASE_NAMES,
+    SimResult,
+    normalized_aopb_pct,
+    normalized_energy_pct,
+    slowdown_pct,
+)
+
+
+def make_result(**kw):
+    defaults = dict(
+        benchmark="x",
+        technique="none",
+        policy=None,
+        num_cores=2,
+        budget_fraction=0.5,
+        global_budget=100.0,
+        cycles=1000,
+        completed=True,
+        committed_instructions=4000,
+        total_energy=50_000.0,
+        aopb_energy=5_000.0,
+        spin_energy=2_000.0,
+        max_power=120.0,
+        phase_cycles=[[700, 100, 50, 150], [600, 200, 50, 150]],
+        mean_temperature=330.0,
+        std_temperature=1.5,
+        throttled_cycles=0,
+        ptht_hit_rate=0.9,
+    )
+    defaults.update(kw)
+    return SimResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_avg_power(self):
+        r = make_result()
+        assert r.avg_power == pytest.approx(50.0)
+
+    def test_ipc(self):
+        r = make_result()
+        assert r.ipc == pytest.approx(4000 / (1000 * 2))
+
+    def test_aopb_fraction(self):
+        r = make_result()
+        assert r.aopb_fraction_of_energy == pytest.approx(0.1)
+
+    def test_spin_fraction(self):
+        r = make_result()
+        assert r.spin_fraction_of_energy == pytest.approx(0.04)
+
+    def test_zero_cycles_safe(self):
+        r = make_result(cycles=0, total_energy=0.0)
+        assert r.avg_power == 0.0
+        assert r.ipc == 0.0
+
+    def test_phase_fraction_names(self):
+        assert PHASE_NAMES == ("busy", "lock_acq", "lock_rel", "barrier")
+
+    def test_phase_fractions_sum_to_one(self):
+        fr = make_result().phase_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_phase_fractions_values(self):
+        fr = make_result().phase_fractions()
+        assert fr["busy"] == pytest.approx(1300 / 2000)
+        assert fr["barrier"] == pytest.approx(300 / 2000)
+
+    def test_phase_fractions_empty(self):
+        r = make_result(phase_cycles=[[0, 0, 0, 0]])
+        assert all(v == 0.0 for v in r.phase_fractions().values())
+
+
+class TestNormalizations:
+    def test_energy_pct_saving_is_negative(self):
+        base = make_result(total_energy=100.0)
+        better = make_result(total_energy=94.0)
+        assert normalized_energy_pct(better, base) == pytest.approx(-6.0)
+
+    def test_energy_pct_increase_is_positive(self):
+        base = make_result(total_energy=100.0)
+        worse = make_result(total_energy=103.0)
+        assert normalized_energy_pct(worse, base) == pytest.approx(3.0)
+
+    def test_aopb_pct_of_base(self):
+        base = make_result(aopb_energy=1000.0)
+        r = make_result(aopb_energy=80.0)
+        assert normalized_aopb_pct(r, base) == pytest.approx(8.0)
+
+    def test_aopb_zero_base(self):
+        base = make_result(aopb_energy=0.0)
+        r = make_result(aopb_energy=10.0)
+        assert normalized_aopb_pct(r, base) == 0.0
+
+    def test_slowdown(self):
+        base = make_result(cycles=1000)
+        slow = make_result(cycles=1150)
+        assert slowdown_pct(slow, base) == pytest.approx(15.0)
+
+    def test_speedup_is_negative_slowdown(self):
+        base = make_result(cycles=1000)
+        fast = make_result(cycles=950)
+        assert slowdown_pct(fast, base) == pytest.approx(-5.0)
+
+    def test_zero_division_guards(self):
+        base = make_result(cycles=0, total_energy=0.0, aopb_energy=0.0)
+        r = make_result()
+        assert normalized_energy_pct(r, base) == 0.0
+        assert slowdown_pct(r, base) == 0.0

@@ -1,0 +1,150 @@
+"""Integration tests: full CMP simulations end to end."""
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.sim.cmp import CMPSimulator, run_simulation
+from repro.sim.results import normalized_aopb_pct
+from repro.workloads import build_program
+
+from .conftest import make_program
+
+
+@pytest.fixture(scope="module")
+def ocean2():
+    """A tiny 2-core ocean run shared by read-only assertions."""
+    cfg = CMPConfig(num_cores=2)
+    prog = build_program("ocean", 2, scale="tiny")
+    return run_simulation(cfg, prog, technique="none", max_cycles=100_000)
+
+
+class TestBasicRuns:
+    def test_completes(self, ocean2):
+        assert ocean2.completed
+        assert ocean2.cycles > 0
+
+    def test_energy_positive(self, ocean2):
+        assert ocean2.total_energy > 0
+        assert ocean2.avg_power > 0
+
+    def test_commits_all_instructions(self):
+        cfg = CMPConfig(num_cores=2)
+        prog = make_program(2, work=500, barriers=1)
+        sim = CMPSimulator(cfg, prog, technique="none")
+        r = sim.run(100_000)
+        # All program instructions commit (plus sync/spin overhead).
+        assert r.committed_instructions >= prog.total_instructions()
+
+    def test_phase_cycles_cover_run(self, ocean2):
+        per_core = [sum(pc) for pc in ocean2.phase_cycles]
+        # Every live cycle is classified (done cores stop counting).
+        assert all(0 < c <= ocean2.cycles for c in per_core)
+
+    def test_thread_core_mismatch_rejected(self):
+        cfg = CMPConfig(num_cores=4)
+        prog = make_program(2)
+        with pytest.raises(ValueError):
+            CMPSimulator(cfg, prog)
+
+    def test_deterministic(self):
+        cfg = CMPConfig(num_cores=2)
+        prog = build_program("fft", 2, scale="tiny")
+        a = run_simulation(cfg, prog, technique="none", max_cycles=50_000)
+        b = run_simulation(cfg, prog, technique="none", max_cycles=50_000)
+        assert a.cycles == b.cycles
+        assert a.total_energy == pytest.approx(b.total_energy)
+        assert a.aopb_energy == pytest.approx(b.aopb_energy)
+
+    def test_max_cycles_cap(self):
+        cfg = CMPConfig(num_cores=2)
+        prog = make_program(2, work=100_000, barriers=1)
+        r = run_simulation(cfg, prog, max_cycles=500)
+        assert r.cycles == 500
+        assert not r.completed
+
+    def test_traces_collected_on_request(self):
+        cfg = CMPConfig(num_cores=2)
+        prog = make_program(2, work=300, barriers=1)
+        sim = CMPSimulator(cfg, prog, collect_traces=True)
+        r = sim.run(50_000)
+        assert r.power_trace is not None
+        assert len(r.power_trace) == r.cycles
+        assert r.core_power_traces.shape == (r.cycles, 2)
+
+    def test_no_budget_means_no_aopb_baseline(self):
+        cfg = CMPConfig(num_cores=2)
+        prog = make_program(2, work=300, barriers=1)
+        r = run_simulation(cfg, prog, budget_fraction=None, max_cycles=50_000)
+        # Budget equals peak power: essentially never exceeded.
+        assert r.aopb_fraction_of_energy < 0.02
+
+
+class TestTechniqueEffects:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cfg = CMPConfig(num_cores=4)
+        prog = build_program("ocean", 4, scale="tiny")
+        out = {"none": run_simulation(cfg, prog, "none", max_cycles=150_000)}
+        for tech in ("dvfs", "dfs", "2level"):
+            out[tech] = run_simulation(cfg, prog, tech, max_cycles=150_000)
+        out["ptb"] = run_simulation(
+            cfg, prog, "ptb", ptb_policy="toall", max_cycles=150_000
+        )
+        return out
+
+    def test_all_complete(self, runs):
+        assert all(r.completed for r in runs.values())
+
+    def test_controlled_runs_reduce_aopb(self, runs):
+        base = runs["none"]
+        # Naive techniques may barely engage on a tiny run (the global
+        # trigger rarely fires), but they must not blow the area up;
+        # PTB must visibly shrink it.
+        for tech in ("dvfs", "2level"):
+            assert runs[tech].aopb_energy <= base.aopb_energy * 1.25
+        assert runs["ptb"].aopb_energy < base.aopb_energy * 0.9
+
+    def test_ptb_beats_naive_2level_on_aopb(self, runs):
+        base = runs["none"]
+        ptb = normalized_aopb_pct(runs["ptb"], base)
+        two = normalized_aopb_pct(runs["2level"], base)
+        assert ptb < two
+
+    def test_ptb_energy_overhead_is_small(self, runs):
+        base = runs["none"]
+        ratio = runs["ptb"].total_energy / base.total_energy
+        assert 0.9 < ratio < 1.10  # paper: ~+3%
+
+    def test_throttling_happened_under_ptb(self, runs):
+        assert runs["ptb"].ptht_hit_rate > 0.5
+
+    def test_techniques_slow_down_at_most_mildly(self, runs):
+        base = runs["none"]
+        for tech in ("dvfs", "dfs", "2level", "ptb"):
+            assert runs[tech].cycles < base.cycles * 1.5
+
+
+class TestRelaxedPTB:
+    def test_relaxation_trades_accuracy_for_energy(self):
+        cfg = CMPConfig(num_cores=4)
+        prog = build_program("fft", 4, scale="tiny")
+        strict = run_simulation(cfg, prog, "ptb", ptb_policy="toall",
+                                max_cycles=150_000)
+        relaxed_cfg = cfg.with_ptb(relax_threshold=0.3)
+        relaxed = run_simulation(relaxed_cfg, prog, "ptb",
+                                 ptb_policy="toall", max_cycles=150_000)
+        assert relaxed.aopb_energy >= strict.aopb_energy
+        assert relaxed.throttled_cycles <= strict.throttled_cycles
+
+
+class TestThermal:
+    def test_temperature_rises_above_ambient(self, ocean2):
+        assert ocean2.mean_temperature > 318.0
+
+    def test_ptb_temperature_no_hotter_than_base(self):
+        cfg = CMPConfig(num_cores=4)
+        prog = build_program("cholesky", 4, scale="tiny")
+        base = run_simulation(cfg, prog, "none", max_cycles=150_000)
+        ptb = run_simulation(cfg, prog, "ptb", ptb_policy="toall",
+                             max_cycles=150_000)
+        assert ptb.mean_temperature <= base.mean_temperature + 1.0

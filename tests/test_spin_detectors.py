@@ -1,0 +1,130 @@
+"""Tests for the BCT and power-pattern spin detectors."""
+
+import pytest
+
+from repro.core.spin import BCTSpinDetector, PowerPatternSpinDetector
+
+
+def feed_spin_iterations(det, n, pc=0x5000, addr=0x9000):
+    """Emit n identical load-test-branch spin iterations."""
+    for _ in range(n):
+        det.on_commit(pc + 0, False, False, addr)   # load
+        det.on_commit(pc + 4, False, False, 0)      # compare
+        det.on_commit(pc + 8, True, False, 0)       # backward branch
+
+
+class TestBCTDetector:
+    def test_detects_steady_spin(self):
+        det = BCTSpinDetector(identical_intervals=3)
+        feed_spin_iterations(det, 6)
+        assert det.spinning
+        assert det.detections == 1
+
+    def test_not_detected_before_threshold(self):
+        det = BCTSpinDetector(identical_intervals=5)
+        feed_spin_iterations(det, 3)
+        assert not det.spinning
+
+    def test_stores_break_spin(self):
+        det = BCTSpinDetector(identical_intervals=2)
+        for _ in range(8):
+            det.on_commit(0x10, False, True, 0x2000)  # store -> not spin
+            det.on_commit(0x18, True, False, 0)
+        assert not det.spinning
+
+    def test_changing_addresses_break_spin(self):
+        det = BCTSpinDetector(identical_intervals=2)
+        for i in range(8):
+            det.on_commit(0x10, False, False, 0x1000 + 64 * i)
+            det.on_commit(0x18, True, False, 0)
+        assert not det.spinning
+
+    def test_different_bct_pcs_break_spin(self):
+        det = BCTSpinDetector(identical_intervals=2)
+        for i in range(8):
+            det.on_commit(0x10, False, False, 0x1000)
+            det.on_commit(0x18 + (i % 2) * 64, True, False, 0)
+        assert not det.spinning
+
+    def test_reset(self):
+        det = BCTSpinDetector(identical_intervals=2)
+        feed_spin_iterations(det, 5)
+        assert det.spinning
+        det.reset()
+        assert not det.spinning
+
+    def test_exit_spin_on_real_work(self):
+        det = BCTSpinDetector(identical_intervals=2)
+        feed_spin_iterations(det, 5)
+        assert det.spinning
+        det.on_commit(0x40, False, True, 0x3000)
+        det.on_commit(0x48, True, False, 0)
+        assert not det.spinning
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BCTSpinDetector(identical_intervals=0)
+
+
+class TestPowerPatternDetector:
+    def test_detects_stable_low_power(self):
+        det = PowerPatternSpinDetector(window=16, mean_threshold=20,
+                                       spread_threshold=10)
+        for _ in range(20):
+            det.on_cycle(10.0)
+        assert det.spinning
+        assert det.detections == 1
+
+    def test_high_power_not_spinning(self):
+        det = PowerPatternSpinDetector(window=16, mean_threshold=20,
+                                       spread_threshold=10)
+        for _ in range(20):
+            det.on_cycle(50.0)
+        assert not det.spinning
+
+    def test_noisy_low_power_not_spinning(self):
+        det = PowerPatternSpinDetector(window=16, mean_threshold=20,
+                                       spread_threshold=5)
+        vals = [2.0, 18.0] * 16  # low mean but large spread
+        for v in vals:
+            det.on_cycle(v)
+        assert not det.spinning
+
+    def test_figure6_shape(self):
+        """Initial busy peak, then stabilisation under the budget."""
+        det = PowerPatternSpinDetector(window=16, mean_threshold=20,
+                                       spread_threshold=8)
+        detected_at = None
+        trace = [45.0] * 30 + [14.0] * 60  # busy burst then stable spin
+        for t, p in enumerate(trace):
+            if det.on_cycle(p) and detected_at is None:
+                detected_at = t
+        assert detected_at is not None
+        assert detected_at >= 30 + 15  # needs a full stable window
+
+    def test_wakeup_clears_flag(self):
+        det = PowerPatternSpinDetector(window=8, mean_threshold=20,
+                                       spread_threshold=8)
+        for _ in range(10):
+            det.on_cycle(12.0)
+        assert det.spinning
+        for _ in range(8):
+            det.on_cycle(60.0)
+        assert not det.spinning
+
+    def test_window_not_full_no_detection(self):
+        det = PowerPatternSpinDetector(window=32)
+        for _ in range(10):
+            assert det.on_cycle(1.0) is False
+
+    def test_reset(self):
+        det = PowerPatternSpinDetector(window=8)
+        for _ in range(10):
+            det.on_cycle(1.0)
+        det.reset()
+        assert not det.spinning
+        assert det.on_cycle(1.0) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerPatternSpinDetector(window=2)

@@ -1,0 +1,104 @@
+"""Tests for the lumped-RC thermal model."""
+
+import pytest
+
+from repro.power.thermal import ThermalModel
+
+
+def make(n=2, **kw):
+    kw.setdefault("ambient_k", 318.0)
+    kw.setdefault("update_interval", 16)
+    kw.setdefault("tau_cycles", 1000.0)
+    return ThermalModel(n, **kw)
+
+
+class TestDynamics:
+    def test_heats_under_power(self):
+        tm = make()
+        for _ in range(2000):
+            tm.add_cycle([50.0, 50.0])
+        assert all(t > 318.0 for t in tm.temps)
+
+    def test_cools_toward_ambient_when_idle(self):
+        tm = make()
+        for _ in range(2000):
+            tm.add_cycle([50.0, 50.0])
+        hot = tm.temps[0]
+        for _ in range(5000):
+            tm.add_cycle([0.0, 0.0])
+        assert tm.temps[0] < hot
+        assert tm.temps[0] == pytest.approx(318.0, abs=1.0)
+
+    def test_steady_state_tracks_power(self):
+        tm = make(r_th=1.0, coupling=0.0)
+        for _ in range(20000):
+            tm.add_cycle([30.0, 10.0])
+        assert tm.temps[0] == pytest.approx(318.0 + 30.0, abs=1.0)
+        assert tm.temps[1] == pytest.approx(318.0 + 10.0, abs=1.0)
+
+    def test_hot_core_hotter_than_cold_core(self):
+        tm = make()
+        for _ in range(5000):
+            tm.add_cycle([60.0, 5.0])
+        assert tm.temps[0] > tm.temps[1]
+
+    def test_lateral_coupling_pulls_together(self):
+        hot_alone = make(coupling=0.0)
+        coupled = make(coupling=0.3)
+        for _ in range(10000):
+            hot_alone.add_cycle([60.0, 0.0])
+            coupled.add_cycle([60.0, 0.0])
+        spread_alone = hot_alone.temps[0] - hot_alone.temps[1]
+        spread_coupled = coupled.temps[0] - coupled.temps[1]
+        assert spread_coupled < spread_alone
+
+
+class TestStatistics:
+    def test_stable_power_low_std(self):
+        tm = make(tau_cycles=200.0)  # settles quickly, little warm-up drift
+        for _ in range(20000):
+            tm.add_cycle([20.0, 20.0])
+        tm.flush()
+        assert tm.std_temperature < 2.0
+
+    def test_oscillating_power_higher_std(self):
+        stable = make()
+        noisy = make()
+        for i in range(8000):
+            stable.add_cycle([25.0, 25.0])
+            p = 50.0 if (i // 500) % 2 == 0 else 0.0
+            noisy.add_cycle([p, p])
+        stable.flush()
+        noisy.flush()
+        assert noisy.std_temperature > stable.std_temperature
+
+    def test_mean_temperature_reported(self):
+        tm = make()
+        for _ in range(1000):
+            tm.add_cycle([10.0, 10.0])
+        tm.flush()
+        assert tm.mean_temperature > 318.0
+
+    def test_hottest(self):
+        tm = make()
+        for _ in range(2000):
+            tm.add_cycle([50.0, 1.0])
+        assert tm.hottest() == tm.temps[0]
+
+    def test_flush_partial_interval(self):
+        tm = make(update_interval=100)
+        for _ in range(30):
+            tm.add_cycle([40.0, 40.0])
+        tm.flush()
+        assert tm.temps[0] > 318.0
+
+    def test_no_samples_defaults(self):
+        tm = make()
+        assert tm.mean_temperature == 318.0
+        assert tm.std_temperature == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(0, 318.0)
+        with pytest.raises(ValueError):
+            ThermalModel(2, 318.0, update_interval=0)

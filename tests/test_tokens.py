@@ -1,0 +1,103 @@
+"""Tests for power tokens and the PTHT (paper Section III.B)."""
+
+import pytest
+
+from repro.isa.instructions import Kind
+from repro.isa.kmeans import default_token_classes
+from repro.power.model import TOKEN_UNIT_EU
+from repro.power.tokens import PowerTokenHistoryTable, TokenAccountant
+
+
+class TestPTHT:
+    def test_default_prediction_on_cold_entry(self):
+        t = PowerTokenHistoryTable(1024, default_cost=24)
+        assert t.predict(0x400) == 24
+        assert t.misses == 1
+
+    def test_update_then_predict(self):
+        t = PowerTokenHistoryTable(1024)
+        t.update(0x400, 37)
+        assert t.predict(0x400) == 37
+        assert t.hits == 1
+
+    def test_paper_size_is_8k_entries(self):
+        t = PowerTokenHistoryTable(8192)
+        assert t.entries == 8192
+
+    def test_direct_mapped_conflict(self):
+        t = PowerTokenHistoryTable(16)
+        t.update(0x0, 10)
+        t.update(0x0 + 16 * 4, 99)  # same index, different tag
+        assert t.predict(0x0) == t.default_cost  # evicted
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PowerTokenHistoryTable(1000)
+
+    def test_hit_rate(self):
+        t = PowerTokenHistoryTable(64)
+        t.update(0x8, 5)
+        for _ in range(9):
+            t.predict(0x8)
+        t.predict(0xFFFF0)
+        assert t.hit_rate == pytest.approx(0.9)
+
+    def test_loop_reuse_gives_high_hit_rate(self):
+        t = PowerTokenHistoryTable(8192)
+        pcs = [0x1000 + 4 * i for i in range(64)]
+        for _ in range(50):
+            for pc in pcs:
+                t.predict(pc)
+                t.update(pc, 20)
+        assert t.hit_rate > 0.95
+
+
+class TestTokenAccountant:
+    @pytest.fixture
+    def acc(self):
+        tmap = default_token_classes(token_unit=TOKEN_UNIT_EU)
+        return TokenAccountant(tmap, 8192)
+
+    def test_cycle_accounting(self, acc):
+        acc.begin_cycle(rob_occupancy=10)
+        base = acc.on_fetch(0x100, int(Kind.INT_ALU))
+        assert base >= 1
+        consumed = acc.end_cycle()
+        assert consumed == 10 + base
+        assert acc.total_consumed == consumed
+
+    def test_occupancy_is_residency_component(self, acc):
+        acc.begin_cycle(rob_occupancy=77)
+        assert acc.end_cycle() == 77
+
+    def test_commit_updates_ptht_with_residency(self, acc):
+        acc.begin_cycle(0)
+        base = acc.on_fetch(0x200, int(Kind.LOAD))
+        acc.end_cycle()
+        total = acc.on_commit(0x200, base, rob_cycles=30)
+        assert total == base + 30
+        assert acc.ptht.predict(0x200) == total
+
+    def test_paper_token_definition(self, acc):
+        """tokens = base-class tokens + cycles in ROB (Section III.B)."""
+        base = acc.token_map.tokens_for_kind(Kind.FP_MULT)
+        assert acc.on_commit(0x4, base, 17) == base + 17
+
+    def test_expensive_kinds_cost_more(self, acc):
+        fp = acc.token_map.tokens_for_kind(Kind.FP_MULT)
+        nop = acc.token_map.tokens_for_kind(Kind.NOP)
+        assert fp > nop
+
+    def test_base_tokens_in_token_units(self, acc):
+        """Base class tokens are multiples of the ROB-residency unit."""
+        from repro.isa.instructions import BASE_ENERGY
+
+        tok = acc.token_map.tokens_for_kind(Kind.INT_ALU)
+        expected = BASE_ENERGY[Kind.INT_ALU] / TOKEN_UNIT_EU
+        assert tok == pytest.approx(expected, rel=0.35)
+
+    def test_prediction_tracks_fetch(self, acc):
+        acc.begin_cycle(0)
+        acc.on_fetch(0x300, int(Kind.INT_ALU))
+        acc.end_cycle()
+        assert acc.predicted > 0

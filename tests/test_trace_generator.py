@@ -1,0 +1,263 @@
+"""Tests for synthetic trace generation (repro.trace)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Kind
+from repro.trace.generator import (
+    LINE_BYTES,
+    SHARED_BASE,
+    InstrBatch,
+    ThreadTraceGenerator,
+)
+from repro.trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ParallelProgram,
+    SyncKind,
+    SyncOp,
+    ThreadProgram,
+    validate_mix,
+)
+
+
+def drain(gen):
+    """Pull every item from a generator."""
+    items = []
+    while True:
+        item = gen.next_item()
+        if item is None:
+            return items
+        items.append(item)
+
+
+def make_gen(phases, seed=1, tid=0):
+    return ThreadTraceGenerator(
+        ThreadProgram(thread_id=tid, phases=tuple(phases)), seed=seed
+    )
+
+
+class TestPhaseValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            validate_mix({Kind.INT_ALU: 0.5})
+
+    def test_mix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_mix({Kind.INT_ALU: 1.5, Kind.LOAD: -0.5})
+
+    def test_compute_phase_validation(self):
+        with pytest.raises(ValueError):
+            ComputePhase(instructions=-1)
+        with pytest.raises(ValueError):
+            ComputePhase(instructions=10, loop_body=0)
+        with pytest.raises(ValueError):
+            ComputePhase(instructions=10, shared_fraction=1.5)
+
+    def test_lock_phase_validation(self):
+        with pytest.raises(ValueError):
+            LockPhase(lock_id=-1, critical_section=ComputePhase(10))
+
+    def test_barrier_phase_validation(self):
+        with pytest.raises(ValueError):
+            BarrierPhase(barrier_id=-2)
+
+    def test_thread_program_instruction_count(self):
+        tp = ThreadProgram(
+            0,
+            (
+                ComputePhase(100),
+                LockPhase(0, ComputePhase(50)),
+                BarrierPhase(0),
+            ),
+        )
+        assert tp.total_instructions() == 150
+
+    def test_parallel_program_requires_ordered_ids(self):
+        t0 = ThreadProgram(0, (ComputePhase(1),))
+        t2 = ThreadProgram(2, (ComputePhase(1),))
+        with pytest.raises(ValueError):
+            ParallelProgram("bad", (t0, t2))
+
+
+class TestInstructionCounts:
+    def test_emits_exact_instruction_count(self):
+        gen = make_gen([ComputePhase(instructions=777)])
+        items = drain(gen)
+        total = sum(b.n for b in items if isinstance(b, InstrBatch))
+        assert total == 777
+        assert gen.instructions_emitted == 777
+
+    def test_zero_instruction_phase(self):
+        gen = make_gen([ComputePhase(instructions=0), BarrierPhase(0)])
+        items = drain(gen)
+        assert all(not isinstance(i, InstrBatch) for i in items)
+
+    def test_batches_have_parallel_arrays(self):
+        gen = make_gen([ComputePhase(instructions=600)])
+        for b in drain(gen):
+            assert isinstance(b, InstrBatch)
+            assert len(b.kinds) == b.n
+            assert len(b.pcs) == b.n
+            assert len(b.addrs) == b.n
+            assert len(b.takens) == b.n
+            assert len(b.backwards) == b.n
+            assert len(b.deps) == b.n
+
+
+class TestSyncOrdering:
+    def test_lock_phase_emits_acquire_cs_release(self):
+        gen = make_gen([LockPhase(3, ComputePhase(64))])
+        items = drain(gen)
+        assert isinstance(items[0], SyncOp)
+        assert items[0].kind == SyncKind.ACQUIRE
+        assert items[0].obj_id == 3
+        assert isinstance(items[-1], SyncOp)
+        assert items[-1].kind == SyncKind.RELEASE
+        assert items[-1].obj_id == 3
+        n = sum(b.n for b in items if isinstance(b, InstrBatch))
+        assert n == 64
+
+    def test_barrier_marker(self):
+        gen = make_gen([BarrierPhase(7)])
+        items = drain(gen)
+        assert items == [SyncOp(SyncKind.BARRIER, 7)]
+
+    def test_generator_keeps_returning_none_after_end(self):
+        gen = make_gen([ComputePhase(10)])
+        drain(gen)
+        assert gen.next_item() is None
+        assert gen.next_item() is None
+
+
+class TestAddresses:
+    def test_private_addresses_in_thread_region(self):
+        gen = make_gen(
+            [ComputePhase(2000, shared_fraction=0.0, footprint_lines=256)],
+            tid=2,
+        )
+        for b in drain(gen):
+            for kind, addr in zip(b.kinds, b.addrs):
+                if addr:
+                    assert addr < SHARED_BASE
+                    assert addr >> 34 == 3  # (tid+1)
+
+    def test_shared_addresses_above_shared_base(self):
+        gen = make_gen(
+            [ComputePhase(3000, shared_fraction=1.0, footprint_lines=64)]
+        )
+        saw_shared = False
+        for b in drain(gen):
+            for kind, addr in zip(b.kinds, b.addrs):
+                if addr:
+                    assert addr >= SHARED_BASE
+                    saw_shared = True
+        assert saw_shared
+
+    def test_addresses_line_aligned(self):
+        gen = make_gen([ComputePhase(1000)])
+        for b in drain(gen):
+            for addr in b.addrs:
+                assert addr % LINE_BYTES == 0
+
+    def test_non_mem_instructions_have_no_address(self):
+        gen = make_gen([ComputePhase(1000)])
+        mem_kinds = {int(Kind.LOAD), int(Kind.STORE), int(Kind.ATOMIC)}
+        for b in drain(gen):
+            for kind, addr in zip(b.kinds, b.addrs):
+                if kind not in mem_kinds:
+                    assert addr == 0
+
+
+class TestDeterminismAndCodeIdentity:
+    def test_same_seed_same_stream(self):
+        phases = [ComputePhase(1200), BarrierPhase(0), ComputePhase(500)]
+        a = drain(make_gen(phases, seed=5))
+        b = drain(make_gen(phases, seed=5))
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            if isinstance(x, InstrBatch):
+                assert x.kinds == y.kinds
+                assert x.addrs == y.addrs
+                assert x.takens == y.takens
+            else:
+                assert x == y
+
+    def test_different_seed_different_addresses(self):
+        phases = [ComputePhase(1200)]
+        a = drain(make_gen(phases, seed=1))
+        b = drain(make_gen(phases, seed=2))
+        addrs_a = [x for batch in a for x in batch.addrs if x]
+        addrs_b = [x for batch in b for x in batch.addrs if x]
+        assert addrs_a != addrs_b
+
+    def test_identical_phases_share_code(self):
+        """Same-shape compute phases are the same static code (same PCs)."""
+        ph = ComputePhase(500)
+        gen = make_gen([ph, BarrierPhase(0), ph])
+        items = drain(gen)
+        barrier_at = next(
+            i for i, it in enumerate(items) if isinstance(it, SyncOp)
+        )
+        pcs_before = {
+            pc for b in items[:barrier_at] for pc in b.pcs
+        }
+        pcs_after = {
+            pc
+            for b in items[barrier_at + 1:]
+            if isinstance(b, InstrBatch)
+            for pc in b.pcs
+        }
+        assert pcs_after <= pcs_before
+
+    def test_different_shape_phases_use_distinct_code(self):
+        gen = make_gen(
+            [ComputePhase(500, loop_body=32), ComputePhase(500, loop_body=48)]
+        )
+        batches = [b for b in drain(gen) if isinstance(b, InstrBatch)]
+        assert set(batches[0].pcs).isdisjoint(set(batches[-1].pcs))
+
+    def test_same_lock_critical_sections_share_code(self):
+        lk = LockPhase(1, ComputePhase(64))
+        gen = make_gen([lk, lk])
+        batches = [b for b in drain(gen) if isinstance(b, InstrBatch)]
+        assert set(batches[0].pcs) == set(batches[-1].pcs)
+
+
+class TestMixApportionment:
+    def test_branch_fraction_approximates_mix(self):
+        mix = dict(ComputePhase(1).mix)
+        gen = make_gen([ComputePhase(20000, mix=mix)])
+        counts = {}
+        total = 0
+        for b in drain(gen):
+            for k in b.kinds:
+                counts[k] = counts.get(k, 0) + 1
+                total += 1
+        br = counts.get(int(Kind.BRANCH), 0) / total
+        assert br == pytest.approx(mix[Kind.BRANCH], abs=0.05)
+
+    def test_loop_back_edges_marked_backward(self):
+        gen = make_gen([ComputePhase(2000, loop_body=32)])
+        saw_backward = False
+        for b in drain(gen):
+            for kind, bw, taken in zip(b.kinds, b.backwards, b.takens):
+                if bw:
+                    assert kind == int(Kind.BRANCH)
+                    assert taken == 1
+                    saw_backward = True
+        assert saw_backward
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(1, 3000),
+        body=st.integers(4, 128),
+        ilp=st.floats(0.0, 1.0),
+    )
+    def test_any_phase_emits_exactly_n(self, n, body, ilp):
+        gen = make_gen([ComputePhase(n, loop_body=body, ilp=ilp)])
+        total = sum(b.n for b in drain(gen) if isinstance(b, InstrBatch))
+        assert total == n
