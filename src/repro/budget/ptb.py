@@ -39,7 +39,8 @@ from .controller import LocalBudgetController
 class PTBLoadBalancer:
     """The centralized token redistribution logic (pure, unit-testable)."""
 
-    __slots__ = ("num_cores", "latency", "_pipe", "granted_total")
+    __slots__ = ("num_cores", "latency", "_pipe", "granted_total",
+                 "_sanitizer")
 
     def __init__(self, num_cores: int, latency: int) -> None:
         if num_cores <= 0:
@@ -51,6 +52,8 @@ class PTBLoadBalancer:
         # In-flight (spares, overs, priority) snapshots.
         self._pipe: Deque[Tuple[List[int], List[int], List[int]]] = deque()
         self.granted_total = 0
+        #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
+        self._sanitizer = None
 
     @staticmethod
     def distribute(
@@ -130,6 +133,8 @@ class PTBLoadBalancer:
         old_spares, old_overs, old_priority = self._pipe.popleft()
         pool = sum(old_spares)
         grants = self.distribute(pool, old_overs, policy, old_priority)
+        if self._sanitizer is not None:
+            self._sanitizer.check_distribution(pool, grants)
         self.granted_total += sum(grants)
         return grants
 
@@ -177,6 +182,8 @@ class PTBController(LocalBudgetController):
         self.global_token_budget = self.token_budget * cfg.num_cores
         self._grants: List[int] = [0] * cfg.num_cores
         self._last_spares: List[int] = [0] * cfg.num_cores
+        #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
+        self._sanitizer = None
         self.policy_switches = 0
         self._current_policy = (
             "toall" if self.policy == "dynamic" else self.policy
@@ -245,6 +252,11 @@ class PTBController(LocalBudgetController):
                 spare = int(t_local - tokens[i])
                 if spare > 0:
                     spares[i] = spare
+
+        if self._sanitizer is not None:
+            self._sanitizer.check_reports(
+                tokens, spares, overs, t_local, self.global_token_budget
+            )
 
         policy = self._select_policy(sync_domain)
         priority = (

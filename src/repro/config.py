@@ -275,6 +275,9 @@ class CMPConfig:
     dvfs: DVFSConfig = field(default_factory=DVFSConfig)
     ptb: PTBConfig = field(default_factory=PTBConfig)
     power: PowerConfig = field(default_factory=PowerConfig)
+    #: Run the :mod:`repro.simcheck` invariant sanitizers during
+    #: simulation (also enabled by the ``REPRO_SANITIZE=1`` env var).
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:

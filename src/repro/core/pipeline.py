@@ -139,6 +139,9 @@ class Core:
         self.spin_iterations = 0
         self.mem_stall_cycles = 0
 
+        #: Optional :class:`repro.simcheck.PipelineSanitizer` hook.
+        self._sanitizer = None
+
     # ------------------------------------------------------------------ #
     # public per-cycle entry points                                      #
     # ------------------------------------------------------------------ #
@@ -154,6 +157,7 @@ class Core:
         ev.reset()
         rob = self.rob
         acc = self.accountant
+        san = self._sanitizer
         self.executed_cycles += 1
 
         # ---- commit stage -------------------------------------------------
@@ -171,6 +175,8 @@ class Core:
             self.committed += 1
             ev.committed_energy += e[_BASE_EN]
             acc.on_commit(e[_PC], e[_BASE_TOK], now - e[_DISPATCH])
+            if san is not None:
+                san.on_commit(self.core_id, e[_DISPATCH], e[_COMPLETE], now)
             flags = e[_FLAGS]
             if flags & _F_MEM:
                 self._inflight_mem -= 1
@@ -195,6 +201,8 @@ class Core:
                 # spin-gating extension); it still observes the grant.
                 if fetch_allowed:
                     self._spin_fetch(now, self.sync.lock(self._sync_obj).addr)
+                if san is not None:
+                    self._sanitize_rob(san, now)
                 acc.end_cycle()
                 return
         elif st == _SyncState.BAR_SPIN:
@@ -208,6 +216,8 @@ class Core:
                     self._spin_fetch(
                         now, self.sync.barrier(self._sync_obj).sense_addr
                     )
+                if san is not None:
+                    self._sanitize_rob(san, now)
                 acc.end_cycle()
                 return
 
@@ -220,7 +230,17 @@ class Core:
         ):
             self._fetch(now, issue_width)
 
+        if san is not None:
+            self._sanitize_rob(san, now)
         acc.end_cycle()
+
+    def _sanitize_rob(self, san, now: int) -> None:
+        """Window-wide ROB invariant check (sanitizers enabled only)."""
+        rob = self.rob
+        san.check_rob(
+            self.core_id, now, len(rob), self.rob_entries,
+            (e[_DISPATCH] for e in rob),
+        )
 
     def idle_cycle(self, now: int) -> None:
         """A frequency-skipped (or post-completion) global cycle."""

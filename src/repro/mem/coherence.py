@@ -90,6 +90,9 @@ class Directory:
         self.memory_fetches = 0
         self.invalidations_sent = 0
         self.writebacks = 0
+        #: Optional :class:`repro.simcheck.CoherenceSanitizer` hook —
+        #: when set, every transaction re-validates the touched line.
+        self._sanitizer = None
 
     # -- helpers ---------------------------------------------------------
 
@@ -146,6 +149,8 @@ class Directory:
             entry.sharers.add(core)
             self._set_state(core, line, State.S)
             self.cache_to_cache += 1
+            if self._sanitizer is not None:
+                self._sanitizer.check_line(core, line)
             return CoherenceResult(lat, hops, 0, True)
 
         if entry.sharers - {core}:
@@ -157,6 +162,8 @@ class Directory:
             entry.sharers.add(core)
             self._set_state(core, line, State.S)
             self.cache_to_cache += 1
+            if self._sanitizer is not None:
+                self._sanitizer.check_line(core, line)
             return CoherenceResult(lat, hops, 0, True)
 
         # Uncached anywhere else: fetch from memory, grant E.
@@ -168,6 +175,8 @@ class Directory:
         entry.dirty = False
         self._set_state(core, line, State.E)
         self.memory_fetches += 1
+        if self._sanitizer is not None:
+            self._sanitizer.check_line(core, line)
         return CoherenceResult(lat, hops, 0, False)
 
     def write_miss(self, core: int, line: int) -> CoherenceResult:
@@ -180,10 +189,12 @@ class Directory:
         hops = home_hops
         invals = 0
 
-        # Invalidate every other copy.
+        # Invalidate every other copy.  Sorted iteration: the loop body is
+        # order-independent today, but hash order must never decide stat
+        # or latency outcomes (SIM002 determinism rule).
         others = (entry.sharers | ({entry.owner} if entry.owner != -1 else set())) - {core}
         max_inval_hops = 0
-        for other in others:
+        for other in sorted(others):
             h = self.mesh.hop_count(self.home_of(line), other)
             max_inval_hops = max(max_inval_hops, h)
             self._set_state(other, line, State.I)
@@ -219,6 +230,8 @@ class Directory:
         entry.sharers = {core}
         entry.dirty = True
         self._set_state(core, line, State.M)
+        if self._sanitizer is not None:
+            self._sanitizer.check_line(core, line)
         return CoherenceResult(lat, hops, invals, from_cache)
 
     def evict(self, core: int, line: int) -> bool:
@@ -241,6 +254,8 @@ class Directory:
                 entry.dirty = False
         if entry.is_uncached():
             del self._entries[line]
+        if self._sanitizer is not None:
+            self._sanitizer.check_line(core, line)
         return wrote_back
 
     # -- invariants (exercised by the property-based tests) ---------------

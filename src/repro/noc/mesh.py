@@ -42,6 +42,8 @@ class Mesh2D:
         ]
         self.flit_hops = 0          # total flit-link traversals (energy)
         self.messages = 0
+        #: Optional :class:`repro.simcheck.NoCProgressSanitizer` hook.
+        self._sanitizer = None
 
     @staticmethod
     def _dims(n: int) -> Tuple[int, int]:
@@ -98,4 +100,6 @@ class Mesh2D:
         fh = flits * max(hops, 0)
         self.flit_hops += fh
         self.messages += 1
+        if self._sanitizer is not None:
+            self._sanitizer.on_inject(hops, flits)
         return fh

@@ -20,6 +20,7 @@ from ..mem.hierarchy import MemoryHierarchy
 from ..noc.mesh import Mesh2D
 from ..power.model import CycleEvents, EnergyModel
 from ..power.thermal import ThermalModel
+from ..simcheck.sanitizers import SanitizerSuite, sanitize_enabled
 from ..sync.primitives import SyncDomain
 from ..trace.generator import ThreadTraceGenerator
 from ..trace.phases import ParallelProgram
@@ -87,6 +88,12 @@ class CMPSimulator:
         self._policy = (
             ptb_policy if technique in ("ptb", "ptb-spingate") else None
         )
+
+        #: Runtime invariant sanitizers (None = off, zero overhead).
+        self.sanitizers: Optional[SanitizerSuite] = None
+        if sanitize_enabled(cfg):
+            self.sanitizers = SanitizerSuite(cfg)
+            self.sanitizers.attach(self)
 
     def _prewarm_caches(self) -> None:
         """Preload each core's L2 with its program's working set.
@@ -163,10 +170,13 @@ class CMPSimulator:
 
         cycle_power = energy.cycle_power
         temps = thermal.temps
+        sanitizers = self.sanitizers
 
         cycle = 0
         done_count = 0
         while cycle < max_cycles and done_count < n:
+            if sanitizers is not None:
+                sanitizers.on_cycle(cycle)
             controller.begin_cycle(cycle)
             total = 0.0
             done_count = 0

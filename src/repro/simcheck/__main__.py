@@ -1,0 +1,7 @@
+"""``python -m repro.simcheck`` — lint + sanitized smoke entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,144 @@
+"""``python -m repro.simcheck`` — the simcheck command-line front end.
+
+Subcommands:
+
+* ``lint PATH...``  — run the SIM rules; print ``file:line:col: RULE msg``
+  per finding and exit non-zero when anything is found (CI gate).
+* ``smoke``         — run a short 2-core simulation under every PTB
+  policy with all runtime sanitizers enabled; exit non-zero on any
+  :class:`SanitizerViolation` (CI gate for hook regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional  # noqa: F401 (List used in signatures)
+
+from .lint import iter_rules, lint_paths
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    if not args.paths:
+        print("simcheck lint: no paths given", file=sys.stderr)
+        return 2
+    enable = args.enable.split(",") if args.enable else None
+    disable = args.disable.split(",") if args.disable else None
+    try:
+        findings = lint_paths(
+            args.paths, enable=enable, disable=disable,
+            config_path=args.config,
+        )
+    except (OSError, SyntaxError) as exc:
+        print(f"simcheck lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    # Imported lazily: lint must not drag the simulator (and numpy) in.
+    from dataclasses import replace
+
+    from ..config import CMPConfig
+    from ..sim.cmp import run_simulation
+    from ..trace.phases import (
+        BarrierPhase,
+        ComputePhase,
+        LockPhase,
+        ParallelProgram,
+        ThreadProgram,
+    )
+    from .sanitizers import SanitizerViolation
+
+    def make_program(num_threads: int, work: int) -> ParallelProgram:
+        threads = []
+        for t in range(num_threads):
+            phases = []
+            for b in range(2):
+                phases.append(
+                    ComputePhase(instructions=work, footprint_lines=512)
+                )
+                phases.append(
+                    LockPhase(
+                        lock_id=0,
+                        critical_section=ComputePhase(
+                            instructions=40, footprint_lines=512
+                        ),
+                    )
+                )
+                phases.append(BarrierPhase(b))
+            threads.append(ThreadProgram(thread_id=t, phases=tuple(phases)))
+        return ParallelProgram(name="simcheck-smoke", threads=tuple(threads))
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    bad = [p for p in policies if p not in ("toall", "toone", "dynamic")]
+    if bad or not policies:
+        print(
+            f"simcheck smoke: unknown policy {', '.join(bad) or '(none)'} — "
+            "choose from toall, toone, dynamic",
+            file=sys.stderr,
+        )
+        return 2
+
+    cfg = replace(CMPConfig(num_cores=args.cores), sanitize=True)
+    program = make_program(args.cores, args.work)
+    failures = 0
+    for policy in policies:
+        try:
+            result = run_simulation(
+                cfg, program, technique="ptb", ptb_policy=policy,
+                max_cycles=args.max_cycles,
+            )
+        except SanitizerViolation as exc:
+            print(f"smoke[{policy}]: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"smoke[{policy}]: ok — {result.cycles} cycles, "
+            f"{result.committed_instructions} instructions, sanitizers clean"
+        )
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simcheck",
+        description="Simulator-correctness checks: AST lint + sanitized smoke run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the SIM lint rules over paths")
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument("--enable", help="comma-separated rule ids to run exclusively")
+    lint.add_argument("--disable", help="comma-separated rule ids to skip")
+    lint.add_argument(
+        "--config", help="path to config.py for SIM006 (default: autodetect)"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    smoke = sub.add_parser(
+        "smoke", help="short 2-core sim under every policy with sanitizers on"
+    )
+    smoke.add_argument("--cores", type=int, default=2)
+    smoke.add_argument("--work", type=int, default=800)
+    smoke.add_argument("--max-cycles", type=int, default=60_000)
+    smoke.add_argument("--policies", default="toall,toone,dynamic")
+    smoke.set_defaults(func=_cmd_smoke)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

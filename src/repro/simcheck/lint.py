@@ -1,0 +1,336 @@
+"""The simcheck lint engine (stdlib ``ast`` only).
+
+A *rule* is a class with a ``rule_id`` (``SIMxxx``), a one-line
+``description`` and a ``check(ctx)`` generator yielding
+:class:`Finding` objects.  Rules register themselves in a module-level
+registry via :func:`register_rule`, so downstream code (and tests) can
+add rules without touching the engine.
+
+Suppression: a finding on line ``L`` is dropped when line ``L`` (or the
+line of the enclosing statement) carries an inline marker::
+
+    something_flagged()  # simcheck: disable=SIM002
+    other_thing()        # simcheck: disable=SIM001,SIM005
+    anything_at_all()    # simcheck: disable=all
+
+The engine knows nothing about the simulator; simulator-specific
+knowledge (which directories are cycle-stepped, what the ``Config``
+dataclasses look like) lives in :class:`FileContext` /
+:class:`ConfigModel` and is consumed by the rules in
+:mod:`repro.simcheck.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+#: Directories (relative to the linted package root) whose code runs
+#: inside the lock-stepped cycle loop.  SIM001 only applies there.
+CYCLE_STEPPED_DIRS = ("core", "sim", "noc", "budget")
+
+_DISABLE_RE = re.compile(r"#\s*simcheck:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, renderable as ``path:line:col: RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+# --------------------------------------------------------------------------- #
+# Config model (for SIM006)                                                   #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ConfigModel:
+    """What the linter knows about the ``Config`` dataclasses.
+
+    Extracted purely from the AST of ``config.py`` — fields, properties
+    and methods per dataclass, plus the annotated type of each field so
+    attribute chains like ``cfg.mem.l1d.offset_bits`` can be resolved.
+    """
+
+    #: class name -> set of legal attribute names (fields + methods).
+    attrs: Dict[str, Set[str]] = field(default_factory=dict)
+    #: class name -> {field name -> annotated config-class name or None}.
+    field_types: Dict[str, Dict[str, Optional[str]]] = field(default_factory=dict)
+
+    def is_config_class(self, name: str) -> bool:
+        return name in self.attrs
+
+    def has_attr(self, cls: str, attr: str) -> bool:
+        return attr in self.attrs.get(cls, ())
+
+    def attr_type(self, cls: str, attr: str) -> Optional[str]:
+        """The config-class type of ``cls.attr``, or None if not a config."""
+        t = self.field_types.get(cls, {}).get(attr)
+        return t if t in self.attrs else None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str) -> "ConfigModel":
+        model = cls()
+        tree = ast.parse(source)
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _has_dataclass_decorator(node):
+                continue
+            attrs: Set[str] = set()
+            ftypes: Dict[str, Optional[str]] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    name = stmt.target.id
+                    attrs.add(name)
+                    ftypes[name] = _annotation_name(stmt.annotation)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    attrs.add(stmt.name)
+            model.attrs[node.name] = attrs
+            model.field_types[node.name] = ftypes
+        return model
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ConfigModel":
+        return cls.from_source(path.read_text())
+
+
+def _has_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_name(node: ast.expr) -> Optional[str]:
+    """Bare class name of an annotation (``CoreConfig``), else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the head identifier.
+        head = node.value.split("[", 1)[0].strip()
+        return head if head.isidentifier() else None
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# File context                                                                #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one file under lint."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    #: line -> rule ids disabled on that line ("ALL" disables everything).
+    disabled: Dict[int, Set[str]]
+    #: True when the file lives in a cycle-stepped directory.
+    cycle_stepped: bool
+    #: Model of the Config dataclasses (None = SIM006 cannot run).
+    config_model: Optional[ConfigModel] = None
+
+    def is_disabled(self, line: int, rule_id: str) -> bool:
+        rules = self.disabled.get(line)
+        if not rules:
+            return False
+        return "ALL" in rules or rule_id in rules
+
+
+def _parse_disables(source: str) -> Dict[int, Set[str]]:
+    disabled: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(text)
+        if m is None:
+            continue
+        ids = {part.strip().upper() for part in m.group(1).split(",") if part.strip()}
+        disabled[lineno] = ids
+    return disabled
+
+
+def _is_cycle_stepped(path: Path, package_roots: Sequence[Path]) -> bool:
+    resolved = path.resolve()
+    for root in package_roots:
+        try:
+            rel = resolved.relative_to(root.resolve())
+        except ValueError:
+            continue
+        return bool(rel.parts) and rel.parts[0] in CYCLE_STEPPED_DIRS
+    # No package root claims the file (standalone snippets, files linted
+    # outside a repro checkout): fall back to matching any path component
+    # so ``core/foo.py`` still gets the determinism rules.
+    return any(part in CYCLE_STEPPED_DIRS for part in resolved.parts[:-1])
+
+
+# --------------------------------------------------------------------------- #
+# Rule registry                                                               #
+# --------------------------------------------------------------------------- #
+
+
+class LintRule:
+    """Base class for simcheck lint rules."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def iter_rules() -> List[Type[LintRule]]:
+    """All registered rules, sorted by rule id."""
+    # Import for the side effect of registering the built-in rules.
+    from . import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _select_rules(
+    enable: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> List[LintRule]:
+    enabled = {r.upper() for r in enable} if enable else None
+    disabled = {r.upper() for r in disable} if disable else set()
+    selected = []
+    for cls in iter_rules():
+        if enabled is not None and cls.rule_id not in enabled:
+            continue
+        if cls.rule_id in disabled:
+            continue
+        selected.append(cls())
+    return selected
+
+
+# --------------------------------------------------------------------------- #
+# Entry points                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    cycle_stepped: bool = True,
+    config_model: Optional[ConfigModel] = None,
+    enable: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string.  The workhorse behind :func:`lint_paths`."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        disabled=_parse_disables(source),
+        cycle_stepped=cycle_stepped,
+        config_model=config_model,
+    )
+    findings: List[Finding] = []
+    for rule in _select_rules(enable, disable):
+        for f in rule.check(ctx):
+            if not ctx.is_disabled(f.line, f.rule_id):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def _find_package_roots(paths: Sequence[Path]) -> List[Path]:
+    """Directories that look like the ``repro`` package root.
+
+    The root is where ``config.py`` lives; cycle-stepped directories are
+    resolved relative to it.
+    """
+    roots = []
+    for p in paths:
+        base = p if p.is_dir() else p.parent
+        probe = base
+        for _ in range(6):
+            if (probe / "config.py").is_file():
+                roots.append(probe)
+                break
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+    return roots
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    enable: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+    config_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    targets: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            targets.extend(sorted(p.rglob("*.py")))
+        else:
+            targets.append(p)
+
+    roots = _find_package_roots([Path(p) for p in paths])
+    model: Optional[ConfigModel] = None
+    if config_path is not None:
+        model = ConfigModel.from_path(Path(config_path))
+    elif roots:
+        model = ConfigModel.from_path(roots[0] / "config.py")
+
+    findings: List[Finding] = []
+    for target in targets:
+        source = target.read_text()
+        findings.extend(
+            lint_source(
+                source,
+                path=str(target),
+                cycle_stepped=_is_cycle_stepped(target, roots),
+                config_model=model,
+                enable=enable,
+                disable=disable,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

@@ -1,0 +1,619 @@
+"""Built-in simcheck lint rules (SIM001-SIM006).
+
+Each rule targets a failure mode that silently corrupts simulator
+output rather than crashing it:
+
+========  ==============================================================
+SIM001    wall-clock / unseeded RNG inside cycle-stepped code
+SIM002    iteration over a ``set`` where order can leak into sim state
+SIM003    mutable default arguments
+SIM004    bare ``except:``
+SIM005    stat counters accumulated as ``float`` in the per-cycle loop
+SIM006    reads of ``Config`` fields that do not exist on the dataclass
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .lint import ConfigModel, FileContext, Finding, LintRule, register_rule
+
+# --------------------------------------------------------------------------- #
+# SIM001 — determinism: no wall clock, no unseeded RNG in cycle code          #
+# --------------------------------------------------------------------------- #
+
+_WALL_CLOCK_TIME = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+#: ``random.Random(seed)`` / ``SeedSequence`` build seedable generators
+#: and are the sanctioned escape hatch.
+_RANDOM_ALLOWED = {"Random", "SystemRandom", "SeedSequence", "getstate", "setstate"}
+_NP_RANDOM_GLOBAL = {
+    "random", "rand", "randn", "randint", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "seed", "poisson",
+    "exponential", "binomial",
+}
+
+
+@register_rule
+class WallClockRule(LintRule):
+    rule_id = "SIM001"
+    description = (
+        "no wall-clock or unseeded RNG calls inside cycle-stepped code "
+        "(core/, sim/, noc/, budget/); seed generators through the config"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.cycle_stepped:
+            return
+        # Names bound by `from <mod> import <name>`: local -> (mod, orig).
+        from_imports: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            msg = self._classify(node, from_imports)
+            if msg:
+                yield self.finding(ctx, node, msg)
+
+    def _classify(
+        self, node: ast.Call, from_imports: Dict[str, Tuple[str, str]]
+    ) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = from_imports.get(func.id)
+            if origin is None:
+                return None
+            mod, orig = origin
+            if mod == "time" and orig in _WALL_CLOCK_TIME:
+                return f"wall-clock call time.{orig}() in cycle-stepped code"
+            if mod == "datetime" and orig == "datetime":
+                return None  # class imported; calls caught via attribute
+            if mod == "random" and orig not in _RANDOM_ALLOWED:
+                return (
+                    f"unseeded random.{orig}() in cycle-stepped code; "
+                    "use a config-seeded random.Random/np Generator"
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "time" and attr in _WALL_CLOCK_TIME:
+                return f"wall-clock call time.{attr}() in cycle-stepped code"
+            if base.id == "datetime" and attr in _WALL_CLOCK_DATETIME:
+                return f"wall-clock call datetime.{attr}() in cycle-stepped code"
+            if base.id == "random" and attr not in _RANDOM_ALLOWED:
+                return (
+                    f"unseeded random.{attr}() in cycle-stepped code; "
+                    "use a config-seeded random.Random/np Generator"
+                )
+            return None
+        # np.random.X / numpy.random.X / datetime.datetime.now
+        if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            head, mid = base.value.id, base.attr
+            if head == "datetime" and mid == "datetime" and attr in _WALL_CLOCK_DATETIME:
+                return f"wall-clock call datetime.datetime.{attr}()"
+            if head in ("np", "numpy") and mid == "random":
+                if attr in _NP_RANDOM_GLOBAL:
+                    return (
+                        f"global numpy RNG {head}.random.{attr}() in "
+                        "cycle-stepped code; use a config-seeded Generator"
+                    )
+                if attr == "default_rng" and not node.args and not node.keywords:
+                    return (
+                        "np.random.default_rng() without a seed in "
+                        "cycle-stepped code; pass a config-derived seed"
+                    )
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# SIM002 — determinism: iteration over unordered sets                         #
+# --------------------------------------------------------------------------- #
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in ("Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    return False
+
+
+class _SetTyper:
+    """Best-effort 'is this expression a set?' within one file."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        # Attribute names annotated as sets anywhere in the file
+        # (e.g. ``sharers: Set[int]`` on a dataclass).
+        self.set_attrs: Set[str] = set()
+        # Function names whose return annotation is a set.
+        self.set_returning: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(node.annotation):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    self.set_attrs.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    self.set_attrs.add(target.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None and _annotation_is_set(node.returns):
+                    self.set_returning.add(node.name)
+
+    def is_set(self, node: ast.expr, local_sets: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Name) and f.id in ("set", "frozenset"):
+                return True
+            if isinstance(f, ast.Name) and f.id in self.set_returning:
+                return True
+            if isinstance(f, ast.Attribute):
+                if f.attr in _SET_METHODS and self.is_set(f.value, local_sets):
+                    return True
+                if f.attr in self.set_returning:
+                    return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in local_sets
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set(node.left, local_sets) or self.is_set(
+                node.right, local_sets
+            )
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body, local_sets) or self.is_set(
+                node.orelse, local_sets
+            )
+        return False
+
+
+@register_rule
+class SetIterationRule(LintRule):
+    rule_id = "SIM002"
+    description = (
+        "iteration over a set leaks hash order into simulation state; "
+        "iterate sorted(...) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        typer = _SetTyper(ctx.tree)
+        seen: Set[Tuple[int, int]] = set()
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            for f in self._check_scope(ctx, typer, scope):
+                key = (f.line, f.col)
+                if key not in seen:
+                    seen.add(key)
+                    yield f
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        typer: _SetTyper,
+        scope: ast.AST,
+    ) -> Iterator[Finding]:
+        local_sets: Set[str] = set()
+        body = scope.body if hasattr(scope, "body") else []
+        # Forward pass: track names assigned set-valued expressions.
+        for stmt in _iter_stmts(body, skip_functions=True):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if typer.is_set(stmt.value, local_sets):
+                        local_sets.add(target.id)
+                    else:
+                        local_sets.discard(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if _annotation_is_set(stmt.annotation):
+                    local_sets.add(stmt.target.id)
+            elif isinstance(stmt, ast.AugAssign):
+                pass
+            yield from self._check_stmt(ctx, typer, stmt, local_sets)
+
+    def _check_stmt(
+        self,
+        ctx: FileContext,
+        typer: _SetTyper,
+        stmt: ast.stmt,
+        local_sets: Set[str],
+    ) -> Iterator[Finding]:
+        iters: List[ast.expr] = []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iters.append(stmt.iter)
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    iters.append(gen.iter)
+        for it in iters:
+            if typer.is_set(it, local_sets):
+                yield self.finding(
+                    ctx,
+                    it,
+                    "iterating a set: order can leak into simulation "
+                    "state; wrap in sorted(...)",
+                )
+
+
+def _iter_stmts(body, skip_functions: bool):
+    """Statements in a scope, recursing into compound statements but not
+    into nested function/class scopes."""
+    for stmt in body:
+        if skip_functions and isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                yield from _iter_stmts(inner, skip_functions)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _iter_stmts(handler.body, skip_functions)
+
+
+# --------------------------------------------------------------------------- #
+# SIM003 — mutable default arguments                                          #
+# --------------------------------------------------------------------------- #
+
+_MUTABLE_CTORS = {"list", "dict", "set", "deque", "defaultdict", "bytearray", "Counter"}
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    rule_id = "SIM003"
+    description = "mutable default argument shared across calls"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "use None and create inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            f = node.func
+            name = f.id if isinstance(f, ast.Name) else (
+                f.attr if isinstance(f, ast.Attribute) else None
+            )
+            return name in _MUTABLE_CTORS
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# SIM004 — bare except                                                        #
+# --------------------------------------------------------------------------- #
+
+
+@register_rule
+class BareExceptRule(LintRule):
+    rule_id = "SIM004"
+    description = "bare except swallows every error including SanitizerViolation"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node, "bare except:; catch a specific exception type"
+                )
+
+
+# --------------------------------------------------------------------------- #
+# SIM005 — integer stat counters                                              #
+# --------------------------------------------------------------------------- #
+
+#: Plural/stat forms only: singular names ("invalidation", "hit") name
+#: per-event quantities like energies, which are legitimately float.
+_COUNTER_SUFFIX_RE = re.compile(
+    r"(^|_)(hits|misses|stalls|tokens|count|counts|commits|committed"
+    r"|invalidations|writebacks|transactions|messages|acquires|episodes"
+    r"|updates|fetches|iterations|cycles|hops)$"
+)
+_COUNTER_NAMES = {"granted_total", "total_consumed"}
+
+
+def _is_counter_name(name: str) -> bool:
+    return name in _COUNTER_NAMES or bool(_COUNTER_SUFFIX_RE.search(name))
+
+
+def _definitely_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _definitely_float(node.operand)
+    if isinstance(node, ast.Call):
+        f = node.func
+        return isinstance(f, ast.Name) and f.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _definitely_float(node.left) or _definitely_float(node.right)
+    return False
+
+
+@register_rule
+class FloatCounterRule(LintRule):
+    rule_id = "SIM005"
+    description = (
+        "stat counters (hits/misses/stalls/token tallies) must stay int; "
+        "float accumulation drifts in the per-cycle loop"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                name = _target_name(node.target)
+                if name is None or not _is_counter_name(name):
+                    continue
+                if isinstance(node.op, ast.Div) or _definitely_float(node.value):
+                    yield self.finding(
+                        ctx, node,
+                        f"counter {name!r} accumulated with a float value",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _target_name(target)
+                    if name is None or not _is_counter_name(name):
+                        continue
+                    if _definitely_float(node.value):
+                        yield self.finding(
+                            ctx, node,
+                            f"counter {name!r} initialised to a float; use int",
+                        )
+            elif isinstance(node, ast.AnnAssign):
+                name = _target_name(node.target)
+                if (
+                    name is not None
+                    and _is_counter_name(name)
+                    and isinstance(node.annotation, ast.Name)
+                    and node.annotation.id == "float"
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"counter {name!r} annotated float; use int",
+                    )
+
+
+def _target_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# SIM006 — Config field reads must exist                                      #
+# --------------------------------------------------------------------------- #
+
+
+@register_rule
+class ConfigFieldRule(LintRule):
+    rule_id = "SIM006"
+    description = (
+        "every Config field read must exist on the dataclass "
+        "(catches dead or typo'd knobs)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        model = ctx.config_model
+        if model is None:
+            return
+        # Per-class map: self-attribute -> config class, from __init__
+        # assignments of config-annotated parameters.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self_attrs = _self_attr_types(node, model)
+                is_config = model.is_config_class(node.name)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_function(
+                            ctx, model, item,
+                            self_attrs=self_attrs,
+                            self_class=node.name if is_config else None,
+                        )
+        for node in getattr(ctx.tree, "body", []):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(
+                    ctx, model, node, self_attrs={}, self_class=None
+                )
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        model: ConfigModel,
+        func: ast.AST,
+        self_attrs: Dict[str, str],
+        self_class: Optional[str],
+    ) -> Iterator[Finding]:
+        bindings = _param_bindings(func, model)
+        # Local aliases: name = <config-typed chain> (single forward pass).
+        for stmt in _iter_stmts(func.body, skip_functions=True):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    t = _resolve_chain_type(
+                        stmt.value, model, bindings, self_attrs, self_class
+                    )
+                    if t is not None:
+                        bindings[target.id] = t
+                    else:
+                        bindings.pop(target.id, None)
+        seen: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and id(node) not in seen:
+                chain, root = _unroll_chain(node)
+                for part in chain:
+                    seen.add(id(part))
+                if root is None:
+                    continue
+                yield from self._check_chain(
+                    ctx, model, root, chain, bindings, self_attrs, self_class
+                )
+
+    def _check_chain(
+        self,
+        ctx: FileContext,
+        model: ConfigModel,
+        root: ast.Name,
+        chain: List[ast.Attribute],
+        bindings: Dict[str, str],
+        self_attrs: Dict[str, str],
+        self_class: Optional[str],
+    ) -> Iterator[Finding]:
+        attrs = [c.attr for c in chain]
+        idx = 0
+        if root.id in bindings:
+            cur = bindings[root.id]
+        elif root.id == "self" and attrs and attrs[0] in self_attrs:
+            cur = self_attrs[attrs[0]]
+            idx = 1
+        elif root.id == "self" and self_class is not None:
+            cur = self_class
+        else:
+            return
+        for i in range(idx, len(attrs)):
+            attr = attrs[i]
+            if attr.startswith("__"):
+                return
+            if not model.has_attr(cur, attr):
+                yield self.finding(
+                    ctx, chain[i],
+                    f"config dataclass {cur} has no field {attr!r}",
+                )
+                return
+            nxt = model.attr_type(cur, attr)
+            if nxt is None:
+                return
+            cur = nxt
+
+
+def _param_bindings(func: ast.AST, model: ConfigModel) -> Dict[str, str]:
+    bindings: Dict[str, str] = {}
+    args = func.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.annotation is None:
+            continue
+        ann = arg.annotation
+        name = None
+        if isinstance(ann, ast.Name):
+            name = ann.id
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            name = ann.value.strip()
+        if name is not None and model.is_config_class(name):
+            bindings[arg.arg] = name
+    return bindings
+
+
+def _self_attr_types(cls: ast.ClassDef, model: ConfigModel) -> Dict[str, str]:
+    """``self.X -> config class`` map from ``__init__`` assignments."""
+    out: Dict[str, str] = {}
+    init = next(
+        (
+            n for n in cls.body
+            if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return out
+    params = _param_bindings(init, model)
+    for stmt in ast.walk(init):
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id in params
+        ):
+            out[target.attr] = params[stmt.value.id]
+    return out
+
+
+def _unroll_chain(node: ast.Attribute) -> Tuple[List[ast.Attribute], Optional[ast.Name]]:
+    """``a.b.c`` -> ([b-node, c-node] in source order, Name('a'))."""
+    chain: List[ast.Attribute] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        chain.append(cur)
+        cur = cur.value
+    chain.reverse()
+    return chain, cur if isinstance(cur, ast.Name) else None
+
+
+def _resolve_chain_type(
+    node: ast.expr,
+    model: ConfigModel,
+    bindings: Dict[str, str],
+    self_attrs: Dict[str, str],
+    self_class: Optional[str],
+) -> Optional[str]:
+    """Final config-class type of an expression, or None."""
+    if isinstance(node, ast.Name):
+        return bindings.get(node.id)
+    if not isinstance(node, ast.Attribute):
+        return None
+    chain, root = _unroll_chain(node)
+    if root is None:
+        return None
+    attrs = [c.attr for c in chain]
+    idx = 0
+    if root.id in bindings:
+        cur: Optional[str] = bindings[root.id]
+    elif root.id == "self" and attrs and attrs[0] in self_attrs:
+        cur = self_attrs[attrs[0]]
+        idx = 1
+    elif root.id == "self" and self_class is not None:
+        cur = self_class
+    else:
+        return None
+    for i in range(idx, len(attrs)):
+        if cur is None or not model.has_attr(cur, attrs[i]):
+            return None
+        cur = model.attr_type(cur, attrs[i])
+    return cur

@@ -1,0 +1,483 @@
+"""Runtime invariant sanitizers for the CMP simulator.
+
+Opt-in cross-cutting checks that assert, every cycle or every event,
+the invariants the paper's results depend on:
+
+* :class:`TokenSanitizer` — PTB token conservation (Section III.B/III.E.2):
+  tokens handed to the balancer equal tokens redistributed plus a
+  non-negative residual; a donor core's spent+spare never exceeds its
+  local allotment; total offered spare never exceeds the global budget.
+* :class:`CoherenceSanitizer` — MOESI directory invariants: at most one
+  M/O/E owner per line, no M/E coexisting with other copies, the
+  directory's owner/sharer bookkeeping matches the per-core cache states.
+* :class:`NoCProgressSanitizer` — mesh deadlock/livelock watchdog: no
+  message in flight longer than ``watchdog_factor x`` the worst-case
+  diameter traversal, and flit credits never go negative.
+* :class:`PipelineSanitizer` — ROB commit order is program order
+  (dispatch cycles non-decreasing through the window), instructions
+  never commit before completing, occupancy never exceeds capacity.
+
+Enabling: ``CMPConfig(sanitize=True)`` or the environment variable
+``REPRO_SANITIZE=1``.  When off, the hook sites reduce to one
+``is not None`` test on a pre-loaded local — zero allocation, no calls.
+
+Violations raise :class:`SanitizerViolation` (an ``AssertionError``
+subclass) carrying the cycle number, core id and a state snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SanitizerViolation",
+    "TokenSanitizer",
+    "CoherenceSanitizer",
+    "NoCProgressSanitizer",
+    "PipelineSanitizer",
+    "SanitizerSuite",
+    "sanitize_enabled",
+]
+
+#: Slack for float comparisons in token accounting.
+_EPS = 1e-6
+
+
+def sanitize_enabled(cfg=None) -> bool:
+    """True when sanitizers should run: config flag or ``REPRO_SANITIZE``."""
+    if cfg is not None and getattr(cfg, "sanitize", False):
+        return True
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "off")
+
+
+class SanitizerViolation(AssertionError):
+    """A simulator invariant was broken.
+
+    Subclasses ``AssertionError`` so existing property tests that assert
+    on protocol invariants keep catching it.
+    """
+
+    def __init__(
+        self,
+        sanitizer: str,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        core: Optional[int] = None,
+        snapshot: Optional[Dict] = None,
+    ) -> None:
+        self.sanitizer = sanitizer
+        self.cycle = cycle
+        self.core = core
+        self.snapshot = dict(snapshot or {})
+        where = f"cycle={cycle}" + (f" core={core}" if core is not None else "")
+        detail = f" | snapshot: {self.snapshot}" if self.snapshot else ""
+        super().__init__(f"[{sanitizer}] {where}: {message}{detail}")
+
+
+class _Sanitizer:
+    """Shared machinery: a name, the current cycle, a check counter."""
+
+    name = "sanitizer"
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.checks = 0
+
+    def _raise(
+        self,
+        message: str,
+        core: Optional[int] = None,
+        snapshot: Optional[Dict] = None,
+    ) -> None:
+        raise SanitizerViolation(
+            self.name, message, cycle=self.now, core=core, snapshot=snapshot
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Tokens                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+class TokenSanitizer(_Sanitizer):
+    """Conservation of power tokens through the PTB balancer."""
+
+    name = "TokenSanitizer"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.total_pool = 0
+        self.total_granted = 0
+
+    def check_distribution(self, pool: int, grants: Sequence[int]) -> None:
+        """Tokens in == tokens out + residual; nothing minted or negative."""
+        self.checks += 1
+        granted = 0
+        for i, g in enumerate(grants):
+            if g < 0:
+                self._raise(
+                    f"negative grant {g} to core {i}",
+                    core=i,
+                    snapshot={"pool": pool, "grants": list(grants)},
+                )
+            granted += g
+        if granted > pool:
+            self._raise(
+                f"balancer minted tokens: granted {granted} from a pool of "
+                f"{pool} (residual would be {pool - granted})",
+                snapshot={"pool": pool, "grants": list(grants)},
+            )
+        self.total_pool += pool
+        self.total_granted += granted
+
+    def check_reports(
+        self,
+        tokens: Sequence[int],
+        spares: Sequence[int],
+        overs: Sequence[int],
+        token_budget: float,
+        global_token_budget: float,
+    ) -> None:
+        """Per-core spare/over reports are consistent with consumption."""
+        self.checks += 1
+        spare_total = 0
+        for i, (t, s, o) in enumerate(zip(tokens, spares, overs)):
+            if s < 0:
+                self._raise(f"negative spare report {s}", core=i)
+            if o < 0:
+                self._raise(f"negative overshoot report {o}", core=i)
+            if s > 0 and o > 0:
+                self._raise(
+                    f"core is both donor (spare={s}) and requester (over={o})",
+                    core=i,
+                    snapshot={"tokens": t},
+                )
+            if s > 0 and t + s > token_budget + _EPS:
+                self._raise(
+                    f"donor spent+spare {t}+{s} exceeds the local allotment "
+                    f"{token_budget:.3f}",
+                    core=i,
+                    snapshot={"tokens": t, "spare": s},
+                )
+            spare_total += s
+        if spare_total > global_token_budget + _EPS:
+            self._raise(
+                f"total offered spare {spare_total} exceeds the global token "
+                f"budget {global_token_budget:.3f}",
+                snapshot={"spares": list(spares)},
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Coherence                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+class CoherenceSanitizer(_Sanitizer):
+    """MOESI directory invariants, checked per touched line."""
+
+    name = "CoherenceSanitizer"
+
+    def __init__(self, directory=None) -> None:
+        super().__init__()
+        self._dir = directory
+
+    def attach(self, directory) -> None:
+        self._dir = directory
+
+    def check_line(self, core: int, line: int) -> None:
+        """Validate one line after a transaction touched it."""
+        from ..mem.coherence import State
+
+        d = self._dir
+        if d is None:
+            return
+        self.checks += 1
+        holders = [
+            (c, view[line])
+            for c, view in enumerate(d._core_state)
+            if line in view
+        ]
+        entry = d._entries.get(line)
+        snapshot = {
+            "line": hex(line),
+            "holders": [(c, st.name) for c, st in holders],
+            "owner": entry.owner if entry is not None else None,
+            "sharers": sorted(entry.sharers) if entry is not None else None,
+            "dirty": entry.dirty if entry is not None else None,
+        }
+        owners = [(c, st) for c, st in holders if st in (State.M, State.O, State.E)]
+        if len(owners) > 1:
+            self._raise(
+                f"line {line:#x} has multiple M/O/E holders", core=core,
+                snapshot=snapshot,
+            )
+        exclusive = [c for c, st in holders if st in (State.M, State.E)]
+        if exclusive and len(holders) > 1:
+            self._raise(
+                f"line {line:#x}: M/E copy coexists with other cached copies",
+                core=core, snapshot=snapshot,
+            )
+        if holders and entry is None:
+            self._raise(
+                f"line {line:#x} cached but has no directory entry",
+                core=core, snapshot=snapshot,
+            )
+        if entry is None:
+            return
+        if owners:
+            oc = owners[0][0]
+            if entry.owner != oc:
+                self._raise(
+                    f"line {line:#x}: directory owner {entry.owner} does not "
+                    f"match M/O/E holder {oc}",
+                    core=core, snapshot=snapshot,
+                )
+        elif entry.owner != -1:
+            st = d.state_of(entry.owner, line)
+            if st not in (State.M, State.O, State.E):
+                self._raise(
+                    f"line {line:#x}: directory owner {entry.owner} holds "
+                    f"state {st.name}, not M/O/E",
+                    core=core, snapshot=snapshot,
+                )
+        holder_ids = {c for c, _ in holders}
+        for c, st in holders:
+            if st == State.S and c not in entry.sharers:
+                self._raise(
+                    f"line {line:#x}: core {c} caches S but is missing from "
+                    "the directory sharer set",
+                    core=core, snapshot=snapshot,
+                )
+        for c in entry.sharers:
+            if c not in holder_ids:
+                self._raise(
+                    f"line {line:#x}: directory lists sharer {c} with no "
+                    "cached copy",
+                    core=core, snapshot=snapshot,
+                )
+        if entry.dirty:
+            if entry.owner == -1 or d.state_of(entry.owner, line) not in (
+                State.M, State.O,
+            ):
+                self._raise(
+                    f"line {line:#x}: dirty bit set with no M/O owner",
+                    core=core, snapshot=snapshot,
+                )
+
+    def check_all(self) -> None:
+        """Full-directory sweep (used by tests and end-of-run checks)."""
+        d = self._dir
+        if d is None:
+            return
+        lines = set()
+        for view in d._core_state:
+            lines.update(view.keys())
+        lines.update(d._entries.keys())
+        for line in sorted(lines):
+            self.check_line(-1, line)
+
+
+# --------------------------------------------------------------------------- #
+# NoC progress                                                                #
+# --------------------------------------------------------------------------- #
+
+
+class NoCProgressSanitizer(_Sanitizer):
+    """Deadlock/livelock watchdog for the statistical mesh model."""
+
+    name = "NoCProgressSanitizer"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        net_cfg,
+        *,
+        watchdog_factor: int = 8,
+        buffer_flits_per_node: int = 4096,
+    ) -> None:
+        super().__init__()
+        if watchdog_factor < 2:
+            raise ValueError("watchdog factor must be >= 2")
+        self.num_nodes = num_nodes
+        self.link_latency = net_cfg.link_latency
+        self.router_latency = net_cfg.router_latency
+        self.bandwidth = net_cfg.link_bandwidth_flits
+        w, h = self._dims(num_nodes)
+        #: Worst-case head latency across the mesh.
+        self.diameter_latency = max(1, (w - 1) + (h - 1)) * (
+            self.link_latency + self.router_latency
+        )
+        self.watchdog_factor = watchdog_factor
+        self.credit_capacity = num_nodes * buffer_flits_per_node
+        self.credits = self.credit_capacity
+        #: In-flight (inject_cycle, deliver_cycle, flits), FIFO by inject.
+        self._inflight: List[List[int]] = []
+        self.delivered = 0
+
+    @staticmethod
+    def _dims(n: int) -> tuple:
+        import math
+
+        w = int(math.isqrt(n))
+        while n % w:
+            w -= 1
+        return (max(w, n // w), min(w, n // w))
+
+    def expected_latency(self, hops: int, flits: int) -> int:
+        head = max(hops, 1) * (self.link_latency + self.router_latency)
+        tail = (max(flits, 1) - 1) // self.bandwidth
+        return head + tail
+
+    def watchdog_limit(self, flits: int) -> int:
+        return self.watchdog_factor * (self.diameter_latency + max(flits, 1))
+
+    def on_inject(
+        self, hops: int, flits: int, deliver_override: Optional[int] = None
+    ) -> None:
+        """A message entered the mesh this cycle."""
+        self.checks += 1
+        deliver = (
+            deliver_override
+            if deliver_override is not None
+            else self.now + self.expected_latency(hops, flits)
+        )
+        self.credits -= flits
+        if self.credits < 0:
+            self._raise(
+                f"flit credits went negative ({self.credits}): "
+                f"{self.credit_capacity - self.credits} flits in flight "
+                f"against a capacity of {self.credit_capacity}",
+                snapshot={"inflight_messages": len(self._inflight) + 1},
+            )
+        self._inflight.append([self.now, deliver, flits])
+
+    def on_cycle(self, now: int) -> None:
+        """Advance time: retire delivered messages, bark on stuck ones."""
+        self.now = now
+        inflight = self._inflight
+        if not inflight:
+            return
+        kept: List[List[int]] = []
+        for rec in inflight:
+            injected, deliver, flits = rec
+            if deliver <= now:
+                self.credits += flits
+                self.delivered += 1
+                continue
+            age = now - injected
+            if age > self.watchdog_limit(flits):
+                self._raise(
+                    f"message in flight for {age} cycles (injected at "
+                    f"{injected}, due {deliver}) exceeds the watchdog limit "
+                    f"{self.watchdog_limit(flits)} — deadlock or livelock",
+                    snapshot={
+                        "inflight_messages": len(inflight),
+                        "flits": flits,
+                    },
+                )
+            kept.append(rec)
+        self._inflight = kept
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class PipelineSanitizer(_Sanitizer):
+    """ROB ordering and capacity invariants."""
+
+    name = "PipelineSanitizer"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_committed_dispatch: Dict[int, int] = {}
+
+    def on_commit(
+        self, core_id: int, dispatch_cycle: int, complete_cycle: int, now: int
+    ) -> None:
+        """One instruction retired: program order, completion before commit."""
+        self.checks += 1
+        if complete_cycle > now:
+            self._raise(
+                f"instruction committed at cycle {now} before completing "
+                f"(complete={complete_cycle})",
+                core=core_id,
+                snapshot={"dispatch": dispatch_cycle},
+            )
+        last = self._last_committed_dispatch.get(core_id)
+        if last is not None and dispatch_cycle < last:
+            self._raise(
+                "commit order violates program order: retiring an "
+                f"instruction dispatched at {dispatch_cycle} after one "
+                f"dispatched at {last}",
+                core=core_id,
+            )
+        self._last_committed_dispatch[core_id] = dispatch_cycle
+
+    def check_rob(
+        self,
+        core_id: int,
+        now: int,
+        occupancy: int,
+        capacity: int,
+        dispatch_cycles: Iterable[int],
+    ) -> None:
+        """Whole-window check at the end of a core cycle."""
+        self.checks += 1
+        if occupancy > capacity:
+            self._raise(
+                f"ROB occupancy {occupancy} exceeds capacity {capacity}",
+                core=core_id,
+            )
+        prev: Optional[int] = None
+        for d in dispatch_cycles:
+            if prev is not None and d < prev:
+                self._raise(
+                    "ROB window out of program order: entry dispatched at "
+                    f"{d} sits behind one dispatched at {prev}",
+                    core=core_id,
+                )
+            prev = d
+
+
+# --------------------------------------------------------------------------- #
+# Suite                                                                       #
+# --------------------------------------------------------------------------- #
+
+
+class SanitizerSuite:
+    """All four sanitizers, wired into one :class:`CMPSimulator`."""
+
+    def __init__(self, cfg) -> None:
+        self.cfg = cfg
+        self.tokens = TokenSanitizer()
+        self.coherence = CoherenceSanitizer()
+        self.noc = NoCProgressSanitizer(cfg.num_cores, cfg.net)
+        self.pipeline = PipelineSanitizer()
+        self.all = (self.tokens, self.coherence, self.noc, self.pipeline)
+
+    def attach(self, sim) -> None:
+        """Install hook references on the simulator's components."""
+        sim.mesh._sanitizer = self.noc
+        self.coherence.attach(sim.hierarchy.directory)
+        sim.hierarchy.directory._sanitizer = self.coherence
+        for core in sim.cores:
+            core._sanitizer = self.pipeline
+        balancer = getattr(sim.controller, "balancer", None)
+        if balancer is not None:
+            balancer._sanitizer = self.tokens
+            sim.controller._sanitizer = self.tokens
+
+    def on_cycle(self, cycle: int) -> None:
+        self.tokens.now = cycle
+        self.coherence.now = cycle
+        self.pipeline.now = cycle
+        self.noc.on_cycle(cycle)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(s.checks for s in self.all)

@@ -1,0 +1,341 @@
+"""simcheck lint rules: one positive, one negative and one
+inline-disable case per rule, plus engine/CLI behaviour."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simcheck import ConfigModel, iter_rules, lint_paths, lint_source
+
+REPO = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO / "src" / "repro"
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(source, path="core/mod.py", **kw):
+    kw.setdefault("cycle_stepped", True)
+    return lint_source(source, path, **kw)
+
+
+# --------------------------------------------------------------------------- #
+# SIM001 — wall clock / unseeded RNG in cycle-stepped code                    #
+# --------------------------------------------------------------------------- #
+
+
+class TestSIM001:
+    POSITIVE = (
+        "import random, time\n"
+        "def step(now):\n"
+        "    jitter = random.random()\n"
+        "    t0 = time.perf_counter()\n"
+    )
+
+    def test_positive(self):
+        ids = rule_ids(lint(self.POSITIVE, cycle_stepped=True))
+        assert ids.count("SIM001") == 2
+
+    def test_negative_seeded_and_scope(self):
+        seeded = (
+            "import random\n"
+            "def make(cfg):\n"
+            "    return random.Random(cfg_seed(cfg))\n"
+            "def cfg_seed(cfg):\n"
+            "    return 2011\n"
+        )
+        assert lint(seeded, cycle_stepped=True) == []
+        # Same calls outside cycle-stepped code are fine.
+        assert lint(self.POSITIVE, cycle_stepped=False) == []
+
+    def test_inline_disable(self):
+        src = (
+            "import time\n"
+            "def step(now):\n"
+            "    t0 = time.perf_counter()  # simcheck: disable=SIM001\n"
+        )
+        assert lint(src, cycle_stepped=True) == []
+
+    def test_numpy_global_rng(self):
+        src = (
+            "import numpy as np\n"
+            "def step():\n"
+            "    a = np.random.randint(4)\n"
+            "    rng = np.random.default_rng()\n"
+            "    ok = np.random.default_rng(2011)\n"
+        )
+        assert rule_ids(lint(src)).count("SIM001") == 2
+
+
+# --------------------------------------------------------------------------- #
+# SIM002 — set iteration order                                                #
+# --------------------------------------------------------------------------- #
+
+
+class TestSIM002:
+    def test_positive_local_and_attr(self):
+        src = (
+            "def inval(entry, core):\n"
+            "    others = (entry.sharers | {entry.owner}) - {core}\n"
+            "    for other in others:\n"
+            "        kill(other)\n"
+        )
+        assert rule_ids(lint(src)) == ["SIM002"]
+
+    def test_positive_annotated_attribute(self):
+        src = (
+            "from typing import Set\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Entry:\n"
+            "    sharers: Set[int]\n"
+            "def f(entry):\n"
+            "    return [s + 1 for s in entry.sharers]\n"
+        )
+        assert rule_ids(lint(src)) == ["SIM002"]
+
+    def test_negative_sorted(self):
+        src = (
+            "def inval(entry, core):\n"
+            "    others = (entry.sharers | {entry.owner}) - {core}\n"
+            "    for other in sorted(others):\n"
+            "        kill(other)\n"
+            "    for k in some_dict.values():\n"
+            "        use(k)\n"
+        )
+        assert lint(src) == []
+
+    def test_inline_disable(self):
+        src = (
+            "def f():\n"
+            "    s = {1, 2}\n"
+            "    for x in s:  # simcheck: disable=SIM002\n"
+            "        pass\n"
+        )
+        assert lint(src) == []
+
+
+# --------------------------------------------------------------------------- #
+# SIM003 — mutable default arguments                                          #
+# --------------------------------------------------------------------------- #
+
+
+class TestSIM003:
+    def test_positive(self):
+        src = "def f(a, cache={}, items=[]):\n    return a\n"
+        assert rule_ids(lint(src)) == ["SIM003", "SIM003"]
+
+    def test_negative(self):
+        src = (
+            "def f(a, cache=None, n=3, name='x', pair=(1, 2)):\n"
+            "    cache = {} if cache is None else cache\n"
+            "    return a\n"
+        )
+        assert lint(src) == []
+
+    def test_inline_disable(self):
+        src = "def f(a, cache={}):  # simcheck: disable=SIM003\n    return a\n"
+        assert lint(src) == []
+
+
+# --------------------------------------------------------------------------- #
+# SIM004 — bare except                                                        #
+# --------------------------------------------------------------------------- #
+
+
+class TestSIM004:
+    def test_positive(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert rule_ids(lint(src)) == ["SIM004"]
+
+    def test_negative(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert lint(src) == []
+
+    def test_inline_disable(self):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:  # simcheck: disable=SIM004\n"
+            "        pass\n"
+        )
+        assert lint(src) == []
+
+
+# --------------------------------------------------------------------------- #
+# SIM005 — float-accumulated stat counters                                    #
+# --------------------------------------------------------------------------- #
+
+
+class TestSIM005:
+    def test_positive(self):
+        src = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0.0\n"
+            "    def access(self):\n"
+            "        self.misses += 0.5\n"
+            "        self.stalls += x / y\n"
+        )
+        assert rule_ids(lint(src)) == ["SIM005", "SIM005", "SIM005"]
+
+    def test_negative(self):
+        src = (
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n"
+            "        self.energy = 0.0\n"          # not a counter name
+            "    def access(self):\n"
+            "        self.hits += 1\n"
+            "        self.energy += 0.25\n"
+        )
+        assert lint(src) == []
+
+    def test_inline_disable(self):
+        src = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        self.hits += 0.5  # simcheck: disable=SIM005\n"
+        )
+        assert lint(src) == []
+
+
+# --------------------------------------------------------------------------- #
+# SIM006 — Config field reads must exist                                      #
+# --------------------------------------------------------------------------- #
+
+CFG_SRC = (
+    "from dataclasses import dataclass\n"
+    "@dataclass\n"
+    "class NetConfig:\n"
+    "    link_latency: int = 4\n"
+    "@dataclass\n"
+    "class CMPConfig:\n"
+    "    num_cores: int = 16\n"
+    "    net: NetConfig = None\n"
+    "    @property\n"
+    "    def mesh_dims(self):\n"
+    "        return (4, 4)\n"
+)
+
+
+class TestSIM006:
+    @pytest.fixture()
+    def model(self):
+        return ConfigModel.from_source(CFG_SRC)
+
+    def test_positive(self, model):
+        src = (
+            "def run(cfg: CMPConfig):\n"
+            "    a = cfg.num_coresx\n"
+            "    b = cfg.net.link_latencyz\n"
+        )
+        assert rule_ids(lint(src, config_model=model)) == ["SIM006", "SIM006"]
+
+    def test_positive_self_attr(self, model):
+        src = (
+            "class Sim:\n"
+            "    def __init__(self, cfg: CMPConfig):\n"
+            "        self.cfg = cfg\n"
+            "    def go(self):\n"
+            "        return self.cfg.netz\n"
+        )
+        assert rule_ids(lint(src, config_model=model)) == ["SIM006"]
+
+    def test_negative(self, model):
+        src = (
+            "def run(cfg: CMPConfig, other):\n"
+            "    n = cfg.num_cores\n"
+            "    lat = cfg.net.link_latency\n"
+            "    dims = cfg.mesh_dims\n"
+            "    alias = cfg.net\n"
+            "    lat2 = alias.link_latency\n"
+            "    unknown = other.whatever\n"       # unannotated: skipped
+        )
+        assert lint(src, config_model=model) == []
+
+    def test_inline_disable(self, model):
+        src = (
+            "def run(cfg: CMPConfig):\n"
+            "    return cfg.legacy_knob  # simcheck: disable=SIM006\n"
+        )
+        assert lint(src, config_model=model) == []
+
+    def test_no_model_no_findings(self):
+        src = "def run(cfg: CMPConfig):\n    return cfg.anything\n"
+        assert lint(src, config_model=None) == []
+
+
+# --------------------------------------------------------------------------- #
+# Engine behaviour                                                            #
+# --------------------------------------------------------------------------- #
+
+
+class TestEngine:
+    def test_registry_lists_builtin_rules(self):
+        ids = [r.rule_id for r in iter_rules()]
+        assert ids == sorted(ids)
+        for expected in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                         "SIM006"):
+            assert expected in ids
+
+    def test_enable_disable_selection(self):
+        src = (
+            "def f(a=[]):\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert rule_ids(lint(src, enable=["SIM003"])) == ["SIM003"]
+        assert rule_ids(lint(src, disable=["SIM003"])) == ["SIM004"]
+
+    def test_disable_all_marker(self):
+        src = "def f(a=[]):  # simcheck: disable=all\n    return a\n"
+        assert lint(src) == []
+
+    def test_finding_render_format(self):
+        src = "def f(a=[]):\n    return a\n"
+        (finding,) = lint(src, path="pkg/mod.py")
+        text = finding.render()
+        assert text.startswith("pkg/mod.py:1:")
+        assert "SIM003" in text
+
+    def test_repo_tree_is_clean(self):
+        """Acceptance: the shipped tree lints clean."""
+        assert lint_paths([str(SRC_REPRO)]) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(a=[]):\n    return a\n")
+        env_cmd = [sys.executable, "-m", "repro.simcheck", "lint"]
+        proc = subprocess.run(
+            env_cmd + [str(bad)], capture_output=True, text=True,
+            cwd=str(REPO), env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "SIM003" in proc.stdout
+        proc = subprocess.run(
+            env_cmd + [str(SRC_REPRO)], capture_output=True, text=True,
+            cwd=str(REPO), env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

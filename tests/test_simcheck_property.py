@@ -1,0 +1,59 @@
+"""Property test: random small workloads run violation-free with every
+sanitizer enabled, under each PTB distribution policy."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CMPConfig
+from repro.sim.cmp import CMPSimulator
+
+from .conftest import make_program
+
+workloads = st.fixed_dictionaries(
+    {
+        "num_cores": st.sampled_from([2, 4]),
+        "work": st.integers(min_value=100, max_value=900),
+        "barriers": st.integers(min_value=1, max_value=3),
+        "lock_ops": st.integers(min_value=0, max_value=3),
+        "cs_len": st.integers(min_value=10, max_value=80),
+        "policy": st.sampled_from(["toall", "toone", "dynamic"]),
+    }
+)
+
+
+@given(w=workloads)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_workloads_are_sanitizer_clean(w):
+    cfg = replace(CMPConfig(num_cores=w["num_cores"]), sanitize=True)
+    prog = make_program(
+        w["num_cores"],
+        work=w["work"],
+        barriers=w["barriers"],
+        lock_ops=w["lock_ops"],
+        cs_len=w["cs_len"],
+    )
+    sim = CMPSimulator(cfg, prog, technique="ptb", ptb_policy=w["policy"])
+    # Any sanitizer violation raises out of run() and fails the example.
+    result = sim.run(max_cycles=120_000)
+    assert result.completed
+
+    suite = sim.sanitizers
+    assert suite.total_checks > 0
+    # Token conservation held cumulatively, not just per cycle.
+    assert suite.tokens.total_granted <= suite.tokens.total_pool
+    # The directory is globally consistent at end of run.
+    suite.coherence.check_all()
+    # Everything injected into the mesh was eventually delivered.
+    suite.noc.on_cycle(result.cycles + suite.noc.watchdog_limit(16))
+    assert suite.noc.credits == suite.noc.credit_capacity
