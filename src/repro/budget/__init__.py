@@ -4,6 +4,7 @@ from typing import Optional
 
 from ..config import CMPConfig
 from ..power.model import EnergyModel
+from ..units import Watts
 from .controller import BudgetController, LocalBudgetController
 from .ptb import PTBController, PTBLoadBalancer
 from .spingate import SpinGatingPTBController
@@ -16,7 +17,7 @@ def make_controller(
     technique: str,
     cfg: CMPConfig,
     energy: EnergyModel,
-    global_budget: float,
+    global_budget: Watts,
     ptb_policy: Optional[str] = None,
 ) -> BudgetController:
     """Build the budget controller for a named technique.

@@ -27,6 +27,7 @@ from ..config import CMPConfig
 from ..power.dvfs import DVFSController
 from ..power.microarch import MicroarchThrottle, Technique, select_technique
 from ..power.model import EnergyModel
+from ..units import Tokens, Watts
 
 
 class BudgetController:
@@ -39,13 +40,13 @@ class BudgetController:
         self,
         cfg: CMPConfig,
         energy: EnergyModel,
-        global_budget: float,
+        global_budget: Watts,
     ) -> None:
         self.cfg = cfg
         self.energy = energy
         self.num_cores = cfg.num_cores
-        self.global_budget = global_budget
-        self.local_budget = global_budget / cfg.num_cores
+        self.global_budget: Watts = global_budget
+        self.local_budget: Watts = global_budget / cfg.num_cores
         n = cfg.num_cores
         self.execute: List[bool] = [True] * n
         self.fetch_allowed: List[bool] = [True] * n
@@ -54,7 +55,7 @@ class BudgetController:
         #: Per-core budget *line* used by the AoPB metric (Figure 1):
         #: the equal share under the naive split; PTB raises/lowers it
         #: with granted/pledged tokens while conserving the global sum.
-        self.budget_lines: List[float] = [self.local_budget] * n
+        self.budget_lines: List[Watts] = [self.local_budget] * n
         self.throttled_cycles = 0
 
     def begin_cycle(self, now: int) -> None:  # pragma: no cover - trivial
@@ -63,8 +64,8 @@ class BudgetController:
     def end_cycle(
         self,
         now: int,
-        tokens: List[int],
-        powers: List[float],
+        tokens: List[Tokens],
+        powers: List[Watts],
         sync_domain=None,
     ) -> None:
         pass
@@ -85,7 +86,7 @@ class LocalBudgetController(BudgetController):
         self,
         cfg: CMPConfig,
         energy: EnergyModel,
-        global_budget: float,
+        global_budget: Watts,
         technique: str = "dvfs",
     ) -> None:
         super().__init__(cfg, energy, global_budget)
@@ -109,8 +110,8 @@ class LocalBudgetController(BudgetController):
     def end_cycle(
         self,
         now: int,
-        tokens: List[int],
-        powers: List[float],
+        tokens: List[Tokens],
+        powers: List[Watts],
         sync_domain=None,
     ) -> None:
         total = 0.0

@@ -33,6 +33,7 @@ from typing import Deque, List, Optional, Tuple
 from ..config import CMPConfig
 from ..power.microarch import Technique, select_technique
 from ..power.model import EnergyModel
+from ..units import Tokens, Watts
 from .controller import LocalBudgetController
 
 
@@ -57,11 +58,11 @@ class PTBLoadBalancer:
 
     @staticmethod
     def distribute(
-        pool: int,
-        overs: List[int],
+        pool: Tokens,
+        overs: List[Tokens],
         policy: str,
         priority: Optional[List[int]] = None,
-    ) -> List[int]:
+    ) -> List[Tokens]:
         """Split ``pool`` spare tokens among over-budget cores.
 
         ``overs[i]`` is how many tokens core ``i`` is over its local
@@ -116,11 +117,11 @@ class PTBLoadBalancer:
 
     def cycle(
         self,
-        spares: List[int],
-        overs: List[int],
+        spares: List[Tokens],
+        overs: List[Tokens],
         policy: str,
         priority: Optional[List[int]] = None,
-    ) -> List[int]:
+    ) -> List[Tokens]:
         """Advance one cycle: ingest this cycle's reports, emit grants.
 
         The returned grants correspond to the reports of ``latency``
@@ -138,7 +139,7 @@ class PTBLoadBalancer:
         self.granted_total += sum(grants)
         return grants
 
-    def pending_pledge(self, core: int) -> int:
+    def pending_pledge(self, core: int) -> Tokens:
         """Tokens core ``core`` has reported spare and not yet delivered."""
         return sum(snapshot[0][core] for snapshot in self._pipe)
 
@@ -163,7 +164,7 @@ class PTBController(LocalBudgetController):
         self,
         cfg: CMPConfig,
         energy: EnergyModel,
-        global_budget: float,
+        global_budget: Watts,
         policy: Optional[str] = None,
     ) -> None:
         super().__init__(cfg, energy, global_budget, technique="2level")
@@ -176,12 +177,12 @@ class PTBController(LocalBudgetController):
         latency = cfg.ptb.round_trip_latency(cfg.num_cores)
         self.balancer = PTBLoadBalancer(cfg.num_cores, latency)
         unctrl = energy.uncontrollable_power
-        self.token_budget = max(
+        self.token_budget: Tokens = max(
             1.0, energy.eu_to_tokens(self.local_budget - unctrl)
         )
-        self.global_token_budget = self.token_budget * cfg.num_cores
-        self._grants: List[int] = [0] * cfg.num_cores
-        self._last_spares: List[int] = [0] * cfg.num_cores
+        self.global_token_budget: Tokens = self.token_budget * cfg.num_cores
+        self._grants: List[Tokens] = [0] * cfg.num_cores
+        self._last_spares: List[Tokens] = [0] * cfg.num_cores
         #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
         self._sanitizer = None
         self.policy_switches = 0
@@ -206,8 +207,8 @@ class PTBController(LocalBudgetController):
     def end_cycle(
         self,
         now: int,
-        tokens: List[int],
-        powers: List[float],
+        tokens: List[Tokens],
+        powers: List[Watts],
         sync_domain=None,
     ) -> None:
         n = self.num_cores

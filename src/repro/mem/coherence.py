@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Dict, List, Set, Tuple
 
+from ..units import Cycles
+
 
 class State(IntEnum):
     I = 0
@@ -59,7 +61,7 @@ class CoherenceResult:
     ``from_cache`` is True for cache-to-cache transfers (vs. memory).
     """
 
-    latency: int
+    latency: Cycles
     hops: int
     invalidations: int
     from_cache: bool
@@ -75,7 +77,7 @@ class Directory:
     the directory for them.
     """
 
-    def __init__(self, num_cores: int, mesh, memory_latency: int) -> None:
+    def __init__(self, num_cores: int, mesh, memory_latency: Cycles) -> None:
         self.num_cores = num_cores
         self.mesh = mesh
         self.memory_latency = memory_latency

@@ -17,6 +17,7 @@ from typing import List, NamedTuple
 
 from ..config import CMPConfig
 from ..noc.mesh import Mesh2D
+from ..units import Cycles
 from ..trace.generator import SHARED_BASE
 from .cache import Cache
 from .coherence import Directory, State
@@ -25,7 +26,7 @@ from .coherence import Directory, State
 class AccessResult(NamedTuple):
     """Timing and energy-relevant events of one memory access."""
 
-    latency: int        # cycles beyond the L1 lookup (0 = L1 hit)
+    latency: Cycles     # beyond the L1 lookup (0 = L1 hit)
     l1_hit: bool
     l2_access: bool
     mem_access: bool
@@ -48,8 +49,8 @@ class MemoryHierarchy:
         self.l1d: List[Cache] = [Cache(cfg.mem.l1d) for _ in range(n)]
         self.l2: List[Cache] = [Cache(cfg.mem.l2_per_core) for _ in range(n)]
         self.directory = Directory(n, mesh, cfg.mem.memory_latency)
-        self._l2_lat = cfg.mem.l2_per_core.latency
-        self._mem_lat = cfg.mem.memory_latency
+        self._l2_lat: Cycles = cfg.mem.l2_per_core.latency
+        self._mem_lat: Cycles = cfg.mem.memory_latency
         self._shared_line_floor = SHARED_BASE >> cfg.mem.l1d.offset_bits
 
     # -- helpers ----------------------------------------------------------

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..config import NetworkConfig
+from ..units import Cycles
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,7 @@ class Mesh2D:
             path.append(y * self.width + x)
         return path
 
-    def traversal_latency(self, hops: int, payload_bytes: int = 64) -> int:
+    def traversal_latency(self, hops: int, payload_bytes: int = 64) -> Cycles:
         """Latency of a message crossing ``hops`` links.
 
         Head latency = hops x (link + router); tail adds flit

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..config import DVFSConfig
+from ..units import Watts
 
 
 class DVFSController:
@@ -67,7 +68,7 @@ class DVFSController:
 
     # -- per-cycle operation -------------------------------------------------
 
-    def tick(self, core_power: float, local_budget: float) -> bool:
+    def tick(self, core_power: Watts, local_budget: Watts) -> bool:
         """Advance one global cycle.
 
         Returns True when the core should execute a pipeline step this
@@ -93,7 +94,7 @@ class DVFSController:
             return True
         return False
 
-    def _select_mode(self, avg_power: float, budget: float) -> None:
+    def _select_mode(self, avg_power: Watts, budget: Watts) -> None:
         """Pick the fastest mode whose scaled power fits the budget."""
         if self._transition_left > 0:
             return  # finish the current transition first

@@ -32,6 +32,7 @@ from functools import cached_property
 
 from ..config import CMPConfig
 from ..isa.instructions import BASE_ENERGY, Kind
+from ..units import Joules, Tokens, Watts
 from .cacti import StructureEnergies
 
 #: Slices of an instruction's base energy charged at each pipeline event.
@@ -40,13 +41,13 @@ COMPLETE_FRAC = 0.45
 COMMIT_FRAC = 0.25
 
 #: EU burned per ROB-resident instruction per cycle (the power-token unit).
-TOKEN_UNIT_EU = 0.15
+TOKEN_UNIT_EU: Watts = 0.15
 
 #: Clock tree + sequential elements at full activity (EU/cycle).
-CLOCK_POWER_EU = 12.0
+CLOCK_POWER_EU: Watts = 12.0
 
 #: Leakage at nominal voltage and reference temperature (EU/cycle).
-LEAKAGE_NOMINAL_EU = 6.0
+LEAKAGE_NOMINAL_EU: Watts = 6.0
 
 #: Temperature sensitivity of leakage (Kelvin per e-fold).
 LEAKAGE_TEMP_EFOLD_K = 30.0
@@ -101,12 +102,12 @@ class EnergyModel:
 
     # -- component models --------------------------------------------------
 
-    def leakage(self, v_scale: float, temp_k: float) -> float:
+    def leakage(self, v_scale: float, temp_k: float) -> Watts:
         """Leakage power (EU/cycle): ~V x exp(T)."""
         t_term = math.exp((temp_k - self.temp_ref) / LEAKAGE_TEMP_EFOLD_K)
         return self.leak_nominal * v_scale * t_term
 
-    def clock(self, activity: float, v_scale: float) -> float:
+    def clock(self, activity: float, v_scale: float) -> Watts:
         """Clock-tree power with imperfect gating, scaled by V^2."""
         g = self.gating_residue
         return self.clock_power * (g + (1.0 - g) * activity) * v_scale * v_scale
@@ -118,7 +119,7 @@ class EnergyModel:
         ev: CycleEvents,
         v_scale: float = 1.0,
         temp_k: float | None = None,
-    ) -> float:
+    ) -> Watts:
         """Total power of one core for one cycle, in EU."""
         temp = self.temp_ref if temp_k is None else temp_k
         leak = self.leakage(v_scale, temp)
@@ -157,14 +158,14 @@ class EnergyModel:
     # -- derived constants ----------------------------------------------------
 
     @cached_property
-    def mean_busy_base_energy(self) -> float:
+    def mean_busy_base_energy(self) -> Joules:
         """Average base energy of a busy-mix instruction (EU)."""
         from ..trace.phases import DEFAULT_MIX
 
         return sum(BASE_ENERGY[k] * f for k, f in DEFAULT_MIX.items())
 
     @cached_property
-    def peak_core_power(self) -> float:
+    def peak_core_power(self) -> Watts:
         """Sustained peak per-core power (EU/cycle) at nominal V/f.
 
         Architectural peak: full-width issue of *expensive* (FP-heavy)
@@ -190,20 +191,22 @@ class EnergyModel:
         )
 
     @cached_property
-    def uncontrollable_power(self) -> float:
+    def uncontrollable_power(self) -> Watts:
         """Power a core burns even when fully gated (EU/cycle)."""
         return (
             self.clock_power * self.gating_residue
             + self.leakage(1.0, self.temp_ref)
         )
 
-    def global_peak_power(self, num_cores: int) -> float:
+    def global_peak_power(self, num_cores: int) -> Watts:
         return self.peak_core_power * num_cores
 
     # -- token/EU exchange -----------------------------------------------------
 
-    def tokens_to_eu(self, tokens: float) -> float:
+    def tokens_to_eu(self, tokens: Tokens) -> Watts:
+        """Token count -> per-cycle power (the declared exchange point)."""
         return tokens * self.token_unit
 
-    def eu_to_tokens(self, eu: float) -> float:
+    def eu_to_tokens(self, eu: Watts) -> Tokens:
+        """Per-cycle power -> token count (the declared exchange point)."""
         return eu / self.token_unit

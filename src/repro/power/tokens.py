@@ -21,6 +21,18 @@ from __future__ import annotations
 from typing import List
 
 from ..isa.kmeans import TokenClassMap
+from ..units import Cycles, Tokens
+
+
+def residency_tokens(rob_cycles: Cycles) -> Tokens:
+    """ROB residency converted to tokens.
+
+    One token per ROB-resident cycle is the paper's token *definition*
+    (Section III.B), so the exchange rate is exactly 1 — but the two
+    sides are different dimensions, and every crossing must go through
+    this function so the dimension checker can see it is deliberate.
+    """
+    return rob_cycles  # simcheck: disable=UNIT004 - the declared exchange
 
 
 class PowerTokenHistoryTable:
@@ -29,13 +41,13 @@ class PowerTokenHistoryTable:
     __slots__ = ("_entries", "_mask", "_tags", "_costs", "default_cost",
                  "hits", "misses", "updates")
 
-    def __init__(self, entries: int, default_cost: int = 24) -> None:
+    def __init__(self, entries: int, default_cost: Tokens = 24) -> None:
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("PTHT entries must be a positive power of two")
         self._entries = entries
         self._mask = entries - 1
         self._tags: List[int] = [-1] * entries
-        self._costs: List[int] = [default_cost] * entries
+        self._costs: List[Tokens] = [default_cost] * entries
         self.default_cost = default_cost
         self.hits = 0
         self.misses = 0
@@ -48,7 +60,7 @@ class PowerTokenHistoryTable:
     def _index(self, pc: int) -> int:
         return (pc >> 2) & self._mask
 
-    def predict(self, pc: int) -> int:
+    def predict(self, pc: int) -> Tokens:
         """Token cost of the instruction at ``pc`` per its last run."""
         i = self._index(pc)
         if self._tags[i] == pc:
@@ -57,7 +69,7 @@ class PowerTokenHistoryTable:
         self.misses += 1
         return self.default_cost
 
-    def update(self, pc: int, tokens: int) -> None:
+    def update(self, pc: int, tokens: Tokens) -> None:
         """Record the observed cost at commit (Section III.B)."""
         i = self._index(pc)
         self._tags[i] = pc
@@ -90,17 +102,17 @@ class TokenAccountant:
     def __init__(self, token_map: TokenClassMap, ptht_entries: int) -> None:
         self.token_map = token_map
         self.ptht = PowerTokenHistoryTable(ptht_entries)
-        self.consumed = 0       # tokens burned in the current cycle
-        self.predicted = 0      # PTHT prediction for the current cycle
-        self.total_consumed = 0
-        self._cycle_base = 0
-        self._cycle_pred = 0
+        self.consumed: Tokens = 0       # burned in the current cycle
+        self.predicted: Tokens = 0      # PTHT prediction, current cycle
+        self.total_consumed: Tokens = 0
+        self._cycle_base: Tokens = 0
+        self._cycle_pred: Tokens = 0
 
     def begin_cycle(self, rob_occupancy: int) -> None:
         self._cycle_base = rob_occupancy  # residency component
         self._cycle_pred = 0
 
-    def on_fetch(self, pc: int, kind: int) -> int:
+    def on_fetch(self, pc: int, kind: int) -> Tokens:
         """Charge base tokens for a fetched instruction.
 
         Returns the base class tokens (stored in the ROB entry so the
@@ -111,13 +123,15 @@ class TokenAccountant:
         self._cycle_pred += self.ptht.predict(pc)
         return base
 
-    def on_commit(self, pc: int, base_tokens: int, rob_cycles: int) -> int:
+    def on_commit(
+        self, pc: int, base_tokens: Tokens, rob_cycles: Cycles
+    ) -> Tokens:
         """Record an instruction's final cost in the PTHT at commit."""
-        total = base_tokens + rob_cycles
+        total = base_tokens + residency_tokens(rob_cycles)
         self.ptht.update(pc, total)
         return total
 
-    def end_cycle(self) -> int:
+    def end_cycle(self) -> Tokens:
         """Finalize the cycle; returns tokens consumed this cycle."""
         self.consumed = self._cycle_base
         self.predicted = self._cycle_pred

@@ -24,6 +24,7 @@ from ..simcheck.sanitizers import SanitizerSuite, sanitize_enabled
 from ..sync.primitives import SyncDomain
 from ..trace.generator import ThreadTraceGenerator
 from ..trace.phases import ParallelProgram
+from ..units import Watts
 from .results import SimResult
 
 #: Fallback run length when a program never completes (deadlock guard).
@@ -73,7 +74,7 @@ class CMPSimulator:
         if prewarm:
             self._prewarm_caches()
         peak = self.energy.global_peak_power(cfg.num_cores)
-        self.global_budget = (
+        self.global_budget: Watts = (
             peak * budget_fraction if budget_fraction is not None else peak
         )
         self.controller = make_controller(

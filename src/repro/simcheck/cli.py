@@ -4,18 +4,57 @@ Subcommands:
 
 * ``lint PATH...``  — run the SIM rules; print ``file:line:col: RULE msg``
   per finding and exit non-zero when anything is found (CI gate).
+* ``flow PATH``     — whole-program flow analyses: same-cycle tick-order
+  hazards (FLOW rules) and unit/dimension propagation (UNIT rules),
+  gated against ``.simcheck-baseline.json`` so CI fails only on
+  regressions.
 * ``smoke``         — run a short 2-core simulation under every PTB
   policy with all runtime sanitizers enabled; exit non-zero on any
   :class:`SanitizerViolation` (CI gate for hook regressions).
+
+Both ``lint`` and ``flow`` accept ``--format json`` and then emit one
+JSON object ``{"tool", "findings": [...], "count"}`` on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional  # noqa: F401 (List used in signatures)
+from pathlib import Path
+from typing import List, Optional, Sequence  # noqa: F401 (signatures)
 
-from .lint import iter_rules, lint_paths
+from .lint import Finding, iter_rules, lint_paths
+
+
+def _emit_findings(
+    tool: str, findings: Sequence[Finding], fmt: str
+) -> None:
+    """Print findings as ``file:line:col`` lines or one JSON document."""
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "tool": tool,
+                    "findings": [
+                        {
+                            "path": f.path,
+                            "line": f.line,
+                            "col": f.col,
+                            "rule": f.rule_id,
+                            "message": f.message,
+                            "fingerprint": f.identity(),
+                        }
+                        for f in findings
+                    ],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -36,10 +75,78 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (OSError, SyntaxError) as exc:
         print(f"simcheck lint: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
+    _emit_findings("lint", findings, args.format)
     if findings:
         print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .flow import (
+        analyze_package,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"simcheck flow: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    findings, notes = analyze_package(
+        root,
+        hazards=not args.no_hazards,
+        units=not args.no_units,
+    )
+    if args.verbose:
+        for note in notes:
+            print(note, file=sys.stderr)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = {}
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"simcheck flow: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "simcheck flow: --write-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_baseline(baseline_path, findings, baseline)
+        print(
+            f"simcheck flow: wrote {count} baseline entries to "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    new, suppressed, stale = apply_baseline(findings, baseline)
+    _emit_findings("flow", new, args.format)
+    if suppressed:
+        print(
+            f"simcheck flow: {len(suppressed)} baselined finding(s) "
+            "suppressed",
+            file=sys.stderr,
+        )
+    for fp in stale:
+        print(
+            f"simcheck flow: stale baseline entry (no longer fires): {fp}",
+            file=sys.stderr,
+        )
+    if new:
+        print(
+            f"simcheck flow: {len(new)} new finding(s) — fix them or "
+            "baseline with a justification",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -126,7 +233,40 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    flow = sub.add_parser(
+        "flow",
+        help="whole-program tick-order hazard + unit/dimension analysis",
+    )
+    flow.add_argument("path", help="package root to analyze (e.g. src/repro)")
+    flow.add_argument(
+        "--baseline",
+        help="baseline JSON of accepted findings (fail only on regressions)",
+    )
+    flow.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    flow.add_argument(
+        "--no-hazards", action="store_true", help="skip the FLOW pass"
+    )
+    flow.add_argument(
+        "--no-units", action="store_true", help="skip the UNIT pass"
+    )
+    flow.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    flow.add_argument(
+        "--verbose", action="store_true",
+        help="print analysis notes (module count, driver, parse errors)",
+    )
+    flow.set_defaults(func=_cmd_flow)
 
     smoke = sub.add_parser(
         "smoke", help="short 2-core sim under every policy with sanitizers on"

@@ -1,0 +1,538 @@
+"""Unit/dimension propagation (UNIT001-UNIT005).
+
+Propagates the :mod:`repro.units` vocabulary (``Tokens``, ``Joules``,
+``Watts``, ``Cycles``, ``Hertz``) through every function in the package
+and flags mixed-unit expressions:
+
+* **UNIT001** — ``+``/``-``/``+=``/``-=`` between two *different* known
+  units (adding a token count to an energy).
+* **UNIT002** — ordering/equality comparison, or ``min``/``max``,
+  between two different known units (comparing watts to a token
+  budget).
+* **UNIT003** — argument with a known unit passed to a parameter
+  annotated with a different unit.
+* **UNIT004** — return value with a known unit from a function whose
+  return annotation names a different unit.
+* **UNIT005** — storing a known unit into an attribute/constant
+  declared with a different unit.
+
+The lattice is deliberately shallow: a value is one of the five units
+or *unknown*, and multiplication/division launder to unknown (that is
+how currencies are exchanged — ``tokens * token_unit``).  Deliberate
+conversions therefore go through an annotated function, or carry an
+inline ``# simcheck: disable=UNIT00x`` marker at the crossing point
+(same suppression syntax as the lint rules).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..lint import Finding, _parse_disables
+from .model import (
+    ClassInfo,
+    ModuleInfo,
+    PackageIndex,
+    annotation_unit,
+    has_decorator,
+)
+
+
+@dataclass(frozen=True)
+class TypedRef:
+    """A reference whose class (not unit) is known."""
+
+    cls: ClassInfo
+
+
+@dataclass(frozen=True)
+class BoundFn:
+    """A resolvable callee: method or module function."""
+
+    fn: ast.FunctionDef
+    skip_first: bool  # True for bound instance methods (drop ``self``)
+
+
+UnitVal = Union[str, TypedRef, BoundFn, None]
+
+#: Builtins that preserve the unit of their (first) argument.
+_PASSTHROUGH = frozenset({"int", "float", "abs", "round", "sorted", "list",
+                          "tuple", "sum"})
+
+
+def _unit(val: UnitVal) -> Optional[str]:
+    return val if isinstance(val, str) else None
+
+
+class _FunctionChecker:
+    def __init__(
+        self,
+        index: PackageIndex,
+        mod: ModuleInfo,
+        imports: Dict[str, Tuple[str, str]],
+        cls: Optional[ClassInfo],
+        fn: ast.FunctionDef,
+        findings: List[Finding],
+    ) -> None:
+        self.index = index
+        self.mod = mod
+        self.imports = imports
+        self.cls = cls
+        self.fn = fn
+        self.findings = findings
+        self.qualname = f"{cls.name}.{fn.name}" if cls is not None else fn.name
+        self.env: Dict[str, UnitVal] = {}
+        if cls is not None and not has_decorator(fn, "staticmethod"):
+            args = fn.args.args
+            if args and args[0].arg in ("self", "cls"):
+                self.env[args[0].arg] = TypedRef(cls)
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            unit = annotation_unit(arg.annotation)
+            if unit is not None:
+                self.env[arg.arg] = unit
+                continue
+            ref = self._class_of_annotation(arg.annotation)
+            if ref is not None:
+                self.env[arg.arg] = TypedRef(ref)
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.mod.relpath,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule,
+                message=f"{message} (in {self.qualname})",
+                fingerprint=f"{rule}|{self.mod.relpath}|{self.qualname}|{message}",
+            )
+        )
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _class_of_annotation(self, node: Optional[ast.expr]) -> Optional[ClassInfo]:
+        from .model import annotation_heads
+
+        for head in annotation_heads(node):
+            cls = self.index.resolve_class(head)
+            if cls is not None:
+                return cls
+        return None
+
+    def _name_value(self, name: str) -> UnitVal:
+        if name in self.env:
+            return self.env[name]
+        unit = self.mod.constant_units.get(name)
+        if unit is not None:
+            return unit
+        imported = self.imports.get(name)
+        if imported is not None:
+            target_mod = self.index.modules.get(imported[0])
+            if target_mod is not None:
+                unit = target_mod.constant_units.get(imported[1])
+                if unit is not None:
+                    return unit
+                fn = target_mod.functions.get(imported[1])
+                if fn is not None:
+                    return BoundFn(fn, skip_first=False)
+                cls = target_mod.classes.get(imported[1])
+                if cls is not None:
+                    return TypedRef(cls)
+        cls = self.mod.classes.get(name) or self.index.resolve_class(name)
+        if cls is not None:
+            return TypedRef(cls)
+        fn = self.mod.functions.get(name)
+        if fn is not None:
+            return BoundFn(fn, skip_first=False)
+        return None
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, expr: Optional[ast.expr]) -> UnitVal:
+        if expr is None:
+            return None
+        method = getattr(self, f"_infer_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.infer(child)
+        return None
+
+    def _infer_Name(self, expr: ast.Name) -> UnitVal:
+        return self._name_value(expr.id)
+
+    def _infer_Constant(self, expr: ast.Constant) -> UnitVal:
+        return None
+
+    def _infer_Attribute(self, expr: ast.Attribute) -> UnitVal:
+        base = self.infer(expr.value)
+        if isinstance(base, TypedRef):
+            unit = self.index.attr_unit(base.cls, expr.attr)
+            if unit is not None:
+                return unit
+            target = self.index.attr_class(base.cls, expr.attr)
+            if target is not None:
+                return TypedRef(target)
+            resolved = self.index.resolve_method(base.cls, expr.attr)
+            if resolved is not None:
+                fn = resolved[1]
+                if has_decorator(fn, "property", "cached_property"):
+                    unit = annotation_unit(fn.returns)
+                    if unit is not None:
+                        return unit
+                    ref = self._class_of_annotation(fn.returns)
+                    return TypedRef(ref) if ref is not None else None
+                skip = not has_decorator(fn, "staticmethod")
+                return BoundFn(fn, skip_first=skip)
+        return None
+
+    def _infer_Subscript(self, expr: ast.Subscript) -> UnitVal:
+        base = self.infer(expr.value)
+        self.infer(expr.slice)
+        # Containers are unit-homogeneous: element keeps the unit/class.
+        if isinstance(base, (str, TypedRef)):
+            return base
+        return None
+
+    def _infer_BinOp(self, expr: ast.BinOp) -> UnitVal:
+        left = _unit(self.infer(expr.left))
+        right = _unit(self.infer(expr.right))
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                verb = "adds" if isinstance(expr.op, ast.Add) else "subtracts"
+                self._report(
+                    expr, "UNIT001", f"{verb} {right} to {left}"
+                )
+            return left or right
+        # Mult/Div/... launder units (currency exchange).
+        return None
+
+    def _infer_UnaryOp(self, expr: ast.UnaryOp) -> UnitVal:
+        return self.infer(expr.operand)
+
+    def _infer_BoolOp(self, expr: ast.BoolOp) -> UnitVal:
+        vals = [self.infer(v) for v in expr.values]
+        units = {_unit(v) for v in vals}
+        units.discard(None)
+        return units.pop() if len(units) == 1 else None
+
+    def _infer_IfExp(self, expr: ast.IfExp) -> UnitVal:
+        self.infer(expr.test)
+        a = self.infer(expr.body)
+        b = self.infer(expr.orelse)
+        return a if a is not None else b
+
+    def _infer_Compare(self, expr: ast.Compare) -> UnitVal:
+        vals = [self.infer(expr.left)]
+        vals.extend(self.infer(c) for c in expr.comparators)
+        for i, op in enumerate(expr.ops):
+            if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                continue
+            a, b = _unit(vals[i]), _unit(vals[i + 1])
+            if a is not None and b is not None and a != b:
+                self._report(expr, "UNIT002", f"compares {a} with {b}")
+        return None
+
+    def _infer_NamedExpr(self, expr: ast.NamedExpr) -> UnitVal:
+        val = self.infer(expr.value)
+        if isinstance(expr.target, ast.Name):
+            self._bind(expr.target.id, val)
+        return val
+
+    def _infer_Lambda(self, expr: ast.Lambda) -> UnitVal:
+        return None
+
+    def _infer_ListComp(self, expr: ast.ListComp) -> UnitVal:
+        return self._comprehension(expr.generators, expr.elt)
+
+    def _infer_SetComp(self, expr: ast.SetComp) -> UnitVal:
+        return self._comprehension(expr.generators, expr.elt)
+
+    def _infer_GeneratorExp(self, expr: ast.GeneratorExp) -> UnitVal:
+        return self._comprehension(expr.generators, expr.elt)
+
+    def _infer_DictComp(self, expr: ast.DictComp) -> UnitVal:
+        self._comprehension(expr.generators, expr.value)
+        self.infer(expr.key)
+        return None
+
+    def _comprehension(
+        self, generators: List[ast.comprehension], elt: ast.expr
+    ) -> UnitVal:
+        for gen in generators:
+            src = self.infer(gen.iter)
+            if isinstance(gen.target, ast.Name):
+                self._bind(gen.target.id, src)
+            for cond in gen.ifs:
+                self.infer(cond)
+        return self.infer(elt)
+
+    def _infer_Call(self, expr: ast.Call) -> UnitVal:
+        func = expr.func
+        callee: UnitVal = None
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in ("min", "max"):
+                units = []
+                for arg in expr.args:
+                    u = _unit(self.infer(arg))
+                    if u is not None:
+                        units.append(u)
+                for kw in expr.keywords:
+                    self.infer(kw.value)
+                distinct = sorted(set(units))
+                if len(distinct) > 1:
+                    self._report(
+                        expr, "UNIT002",
+                        f"mixes {' and '.join(distinct)} in {name}()",
+                    )
+                return units[0] if units else None
+            if name in _PASSTHROUGH:
+                first = None
+                for i, arg in enumerate(expr.args):
+                    val = self.infer(arg)
+                    if i == 0:
+                        first = val
+                for kw in expr.keywords:
+                    self.infer(kw.value)
+                return _unit(first)
+            callee = self._name_value(name)
+        elif isinstance(func, ast.Attribute):
+            callee = self._infer_Attribute(func)
+        else:
+            self.infer(func)
+
+        if not isinstance(callee, BoundFn):
+            for arg in expr.args:
+                self.infer(arg.value if isinstance(arg, ast.Starred) else arg)
+            for kw in expr.keywords:
+                self.infer(kw.value)
+            if isinstance(callee, TypedRef):
+                return callee  # constructor call
+            return None
+
+        fn = callee.fn
+        params = list(fn.args.args)
+        if callee.skip_first and params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        for i, arg in enumerate(expr.args):
+            if isinstance(arg, ast.Starred):
+                self.infer(arg.value)
+                continue
+            got = _unit(self.infer(arg))
+            if i < len(params):
+                want = annotation_unit(params[i].annotation)
+                if got is not None and want is not None and got != want:
+                    self._report(
+                        arg, "UNIT003",
+                        f"passes {got} where parameter "
+                        f"'{params[i].arg}' of {fn.name}() expects {want}",
+                    )
+        by_name = {p.arg: p for p in params + list(fn.args.kwonlyargs)}
+        for kw in expr.keywords:
+            got = _unit(self.infer(kw.value))
+            param = by_name.get(kw.arg) if kw.arg else None
+            if param is not None and got is not None:
+                want = annotation_unit(param.annotation)
+                if want is not None and got != want:
+                    self._report(
+                        kw.value, "UNIT003",
+                        f"passes {got} where parameter "
+                        f"'{param.arg}' of {fn.name}() expects {want}",
+                    )
+        unit = annotation_unit(fn.returns)
+        if unit is not None:
+            return unit
+        ref = self._class_of_annotation(fn.returns)
+        return TypedRef(ref) if ref is not None else None
+
+    # -- statements ---------------------------------------------------------
+
+    def _bind(self, name: str, val: UnitVal) -> None:
+        if val is None:
+            self.env.pop(name, None)
+        else:
+            self.env[name] = val
+
+    def run(self) -> None:
+        self.exec_body(self.fn.body)
+
+    def exec_body(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            val = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._store(target, val, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = annotation_unit(stmt.annotation)
+            val = self.infer(stmt.value) if stmt.value is not None else None
+            got = _unit(val)
+            if declared is not None and got is not None and got != declared:
+                self._report(
+                    stmt, "UNIT005",
+                    f"assigns {got} to a target declared {declared}",
+                )
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, declared or val)
+        elif isinstance(stmt, ast.AugAssign):
+            val = _unit(self.infer(stmt.value))
+            target = _unit(self._target_unit(stmt.target))
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                if val is not None and target is not None and val != target:
+                    verb = "adds" if isinstance(stmt.op, ast.Add) else "subtracts"
+                    self._report(
+                        stmt, "UNIT001", f"{verb} {val} to {target}"
+                    )
+        elif isinstance(stmt, ast.Return):
+            val = _unit(self.infer(stmt.value)) if stmt.value is not None else None
+            declared = annotation_unit(self.fn.returns)
+            if val is not None and declared is not None and val != declared:
+                self._report(
+                    stmt, "UNIT004",
+                    f"returns {val} from a function annotated {declared}",
+                )
+        elif isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            src = self.infer(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, src)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.infer(stmt.test)
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+
+    def _target_unit(self, target: ast.expr) -> UnitVal:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id)
+        if isinstance(target, ast.Attribute):
+            base = self.infer(target.value)
+            if isinstance(base, TypedRef):
+                return self.index.attr_unit(base.cls, target.attr)
+            return None
+        if isinstance(target, ast.Subscript):
+            base = self._target_unit(target.value)
+            self.infer(target.slice)
+            return base if isinstance(base, str) else (
+                _unit(self.infer(target.value))
+            )
+        return None
+
+    def _store(self, target: ast.expr, val: UnitVal, stmt: ast.stmt) -> None:
+        got = _unit(val)
+        if isinstance(target, ast.Name):
+            self._bind(target.id, val)
+            return
+        if isinstance(target, ast.Attribute):
+            base = self.infer(target.value)
+            if isinstance(base, TypedRef):
+                declared = self.index.attr_unit(base.cls, target.attr)
+                if declared is not None and got is not None and got != declared:
+                    self._report(
+                        stmt, "UNIT005",
+                        f"assigns {got} to attribute "
+                        f"'{target.attr}' declared {declared}",
+                    )
+            return
+        if isinstance(target, ast.Subscript):
+            declared = _unit(self._target_unit(target))
+            if declared is not None and got is not None and got != declared:
+                self._report(
+                    stmt, "UNIT005",
+                    f"assigns {got} into a container declared {declared}",
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt, None, stmt)
+
+
+# --------------------------------------------------------------------------- #
+# Module / package driver                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def _import_map(mod: ModuleInfo) -> Dict[str, Tuple[str, str]]:
+    """Local name -> (package-relative module name, original name)."""
+    out: Dict[str, Tuple[str, str]] = {}
+    parts = mod.name.split(".") if mod.name else []
+    is_pkg = mod.relpath.endswith("__init__.py")
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.level == 0:
+            target = node.module or ""
+            # Absolute imports of the package itself: strip the package
+            # prefix so "repro.units" matches the index's "units".
+            for prefix in ("repro.",):
+                if target.startswith(prefix):
+                    target = target[len(prefix):]
+        else:
+            up = node.level if not is_pkg else node.level - 1
+            base = parts[: len(parts) - up] if up else parts
+            if up > len(parts):
+                continue
+            target = ".".join(base + (node.module.split(".") if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            out[alias.asname or alias.name] = (target, alias.name)
+    return out
+
+
+def check_units(
+    index: PackageIndex, mods: Optional[List[ModuleInfo]] = None
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in mods if mods is not None else index.modules.values():
+        mod_findings: List[Finding] = []
+        imports = _import_map(mod)
+        for fn in mod.functions.values():
+            if isinstance(fn, ast.FunctionDef):
+                _FunctionChecker(
+                    index, mod, imports, None, fn, mod_findings
+                ).run()
+        for cls in mod.classes.values():
+            for fn in cls.methods.values():
+                _FunctionChecker(
+                    index, mod, imports, cls, fn, mod_findings
+                ).run()
+        if mod_findings:
+            try:
+                disables = _parse_disables(mod.path.read_text())
+            except OSError:
+                disables = {}
+            for finding in mod_findings:
+                rules = disables.get(finding.line, set())
+                if finding.rule_id in rules or "all" in rules:
+                    continue
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return findings

@@ -44,9 +44,16 @@ class Finding:
     col: int
     rule_id: str
     message: str
+    #: Line-independent identity used by the flow baseline (lint findings
+    #: get one derived from rule + path + message when exported as JSON).
+    fingerprint: Optional[str] = None
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def identity(self) -> str:
+        """Stable fingerprint (explicit, else rule|path|message)."""
+        return self.fingerprint or f"{self.rule_id}|{self.path}|{self.message}"
 
 
 # --------------------------------------------------------------------------- #

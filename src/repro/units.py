@@ -1,0 +1,61 @@
+"""Zero-cost unit/dimension annotation vocabulary.
+
+The simulator's numbers live in four incompatible currencies:
+
+* **power tokens** — the paper's control-plane unit (one token = the
+  energy of one instruction resident in the ROB for one cycle),
+* **energy units (EU)** — the power model's per-cycle energy; since
+  every sample covers exactly one cycle, an EU/cycle figure is a
+  *power* and an EU sum over cycles is an *energy*,
+* **cycles** — simulated time,
+* **frequency scales** — DVFS operating points.
+
+Mixing them (adding a token count to an energy, comparing watts to a
+token budget) silently corrupts every result in EXPERIMENTS.md, so the
+static dimension checker (``python -m repro.simcheck flow``) flags
+mixed-unit arithmetic.  The vocabulary below is how code declares the
+unit of a value: annotate parameters, returns, attributes and module
+constants with these names and the checker propagates them through
+assignments, arithmetic and call boundaries.
+
+Every name is a plain alias of ``float`` — annotations cost nothing at
+runtime (all annotated modules use ``from __future__ import
+annotations``) and the checker matches the *names*, not the objects.
+
+Conventions:
+
+* ``Watts``  — per-cycle power in EU (EU/cycle).  The repo's "EU" power
+  figures are dimensionally watts; one alias keeps the checker simple.
+* ``Joules`` — energy in EU accumulated over cycles.
+* ``Tokens`` — power-token counts (integer-valued, but ``float`` for
+  intermediate arithmetic like budgets and averages).
+* ``Cycles`` — cycle counts and timestamps.
+* ``Hertz``  — absolute frequency; DVFS *scale factors* (f/f_nominal)
+  are dimensionless and stay unannotated.
+
+Multiplication and division deliberately *launder* units (the checker
+treats the result as unknown): ``tokens * token_unit`` is how one
+currency is exchanged for another.  Prefer routing conversions through
+an annotated function (e.g. :meth:`repro.power.model.EnergyModel.
+tokens_to_eu`) so both sides of the exchange are declared.
+"""
+
+from __future__ import annotations
+
+#: Power-token counts (the paper's control currency).
+Tokens = float
+
+#: Energy in EU summed over cycles.
+Joules = float
+
+#: Per-cycle power in EU (EU/cycle).
+Watts = float
+
+#: Cycle counts and cycle timestamps.
+Cycles = float
+
+#: Absolute frequency.
+Hertz = float
+
+#: Annotation names the dimension checker recognizes.
+UNIT_NAMES = ("Tokens", "Joules", "Watts", "Cycles", "Hertz")

@@ -1,0 +1,379 @@
+"""simcheck flow analyses: tick-order hazards, unit propagation,
+baseline round-trip, and the CLI gate over the real tree."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simcheck.flow import (
+    analyze_package,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+SRC_REPRO = SRC / "repro"
+BASELINE = REPO / ".simcheck-baseline.json"
+
+
+def write_pkg(root: Path, files: dict) -> Path:
+    """Materialise a fixture package under ``root / 'pkg'``."""
+    pkg = root / "pkg"
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    for sub in {p.parent for p in pkg.rglob("*.py")} | {pkg}:
+        init = sub / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    return pkg
+
+
+def run_cli(*argv, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.simcheck", *argv],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# fixtures                                                                    #
+# --------------------------------------------------------------------------- #
+
+# A minimal cycle-stepped simulator with a deliberate ordering hazard:
+# the driver reads ``power.throttle`` at the top of the cycle loop, and
+# the later-ticked ``PowerModel.end_cycle`` writes it in the same cycle
+# — the read-before-later-write shape of FLOW001.
+HAZARD_SIM = {
+    "sim/cmp.py": (
+        "from ..core import Core\n"
+        "from ..power import PowerModel\n"
+        "class Simulator:\n"
+        "    def __init__(self, n: int):\n"
+        "        self.cores = [Core() for _ in range(n)]\n"
+        "        self.power = PowerModel(self.cores)\n"
+        "        self.cycle = 0\n"
+        "    def run(self, max_cycles: int):\n"
+        "        self.cycle = 0\n"
+        "        while self.cycle < max_cycles:\n"
+        "            throttle = self.power.throttle\n"
+        "            for core in self.cores:\n"
+        "                core.step(throttle)\n"
+        "            self.power.end_cycle()\n"
+        "            self.cycle += 1\n"
+    ),
+    "core.py": (
+        "class Core:\n"
+        "    def __init__(self):\n"
+        "        self.retired = 0\n"
+        "    def step(self, throttle: bool):\n"
+        "        if not throttle:\n"
+        "            self.retired += 1\n"
+    ),
+    "power.py": (
+        "class PowerModel:\n"
+        "    def __init__(self, cores):\n"
+        "        self.cores = cores\n"
+        "        self.energy = 0.0\n"
+        "        self.throttle = False\n"
+        "    def end_cycle(self):\n"
+        "        self.energy += 1.0\n"
+        "        self.throttle = self.energy > 100.0\n"
+    ),
+}
+
+# Same components, but the power model ticks *first*, so the driver's
+# throttle read sees this cycle's value: write-then-read is the intended
+# producer/consumer dataflow and must not be reported.
+CLEAN_SIM = {
+    "sim/cmp.py": (
+        "from ..core import Core\n"
+        "from ..power import PowerModel\n"
+        "class Simulator:\n"
+        "    def __init__(self, n: int):\n"
+        "        self.cores = [Core() for _ in range(n)]\n"
+        "        self.power = PowerModel(self.cores)\n"
+        "        self.cycle = 0\n"
+        "    def run(self, max_cycles: int):\n"
+        "        self.cycle = 0\n"
+        "        while self.cycle < max_cycles:\n"
+        "            self.power.end_cycle()\n"
+        "            throttle = self.power.throttle\n"
+        "            for core in self.cores:\n"
+        "                core.step(throttle)\n"
+        "            self.cycle += 1\n"
+    ),
+    "core.py": HAZARD_SIM["core.py"],
+    "power.py": HAZARD_SIM["power.py"],
+}
+
+UNIT_MIX = {
+    "units.py": (
+        "Tokens = float\n"
+        "Joules = float\n"
+        "Watts = float\n"
+        "Cycles = float\n"
+        "Hertz = float\n"
+    ),
+    "acct.py": (
+        "from .units import Joules, Tokens\n"
+        "def charge(tokens: Tokens, energy: Joules) -> Tokens:\n"
+        "    return tokens + energy\n"
+    ),
+}
+
+UNIT_CLEAN = {
+    "units.py": UNIT_MIX["units.py"],
+    "acct.py": (
+        "from .units import Joules, Tokens\n"
+        "def exchange(energy: Joules) -> Tokens:\n"
+        "    return energy * 0.5\n"
+        "def charge(tokens: Tokens, energy: Joules) -> Tokens:\n"
+        "    return tokens + exchange(energy)\n"
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# hazard detection                                                            #
+# --------------------------------------------------------------------------- #
+
+
+class TestHazards:
+    def test_seeded_hazard_detected(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        findings, notes = analyze_package(pkg, units=False)
+        flow = [f for f in findings if f.rule_id.startswith("FLOW")]
+        assert flow, notes
+        hazard = [f for f in flow if "throttle" in f.message]
+        assert hazard, [f.render() for f in flow]
+        f = hazard[0]
+        assert f.rule_id == "FLOW001"
+        assert "Simulator.run" in f.message
+        assert "PowerModel.end_cycle" in f.message
+        # Reported at the read site, pointing at the write site.
+        assert f.path.endswith("cmp.py")
+        assert "power.py" in f.message
+        assert f.line > 0
+
+    def test_clean_sim_has_no_hazards(self, tmp_path):
+        pkg = write_pkg(tmp_path, CLEAN_SIM)
+        findings, notes = analyze_package(pkg, units=False)
+        assert findings == [], [f.render() for f in findings]
+        assert any("driver" in n for n in notes), notes
+
+    def test_fingerprint_is_line_independent(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        fp1 = {f.identity() for f in analyze_package(pkg, units=False)[0]}
+        # Shift every line in power.py down; identity must not change.
+        mod = pkg / "power.py"
+        mod.write_text("# moved\n# moved\n" + mod.read_text())
+        fp2 = {f.identity() for f in analyze_package(pkg, units=False)[0]}
+        assert fp1 == fp2
+
+    def test_no_driver_is_reported_not_crash(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"util.py": "def helper():\n    return 1\n"})
+        findings, notes = analyze_package(pkg, units=False)
+        assert findings == []
+        assert any("driver" in n.lower() for n in notes), notes
+
+
+# --------------------------------------------------------------------------- #
+# unit propagation                                                            #
+# --------------------------------------------------------------------------- #
+
+
+class TestUnits:
+    def test_seeded_mix_detected(self, tmp_path):
+        pkg = write_pkg(tmp_path, UNIT_MIX)
+        findings, _ = analyze_package(pkg, hazards=False)
+        unit = [f for f in findings if f.rule_id == "UNIT001"]
+        assert unit, [f.render() for f in findings]
+        assert "Joules" in unit[0].message and "Tokens" in unit[0].message
+        assert unit[0].path.endswith("acct.py")
+
+    def test_explicit_exchange_is_clean(self, tmp_path):
+        pkg = write_pkg(tmp_path, UNIT_CLEAN)
+        findings, _ = analyze_package(pkg, hazards=False)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_inline_disable_suppresses(self, tmp_path):
+        files = dict(UNIT_MIX)
+        files["acct.py"] = files["acct.py"].replace(
+            "return tokens + energy",
+            "return tokens + energy  # simcheck: disable=UNIT001 - test",
+        )
+        pkg = write_pkg(tmp_path, files)
+        findings, _ = analyze_package(pkg, hazards=False)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_return_annotation_mismatch(self, tmp_path):
+        files = dict(UNIT_MIX)
+        files["acct.py"] = (
+            "from .units import Joules, Watts\n"
+            "def leakage(temp_scale: float, base: Joules) -> Watts:\n"
+            "    return base * temp_scale\n"
+            "def bad(base: Joules) -> Watts:\n"
+            "    return base\n"
+        )
+        pkg = write_pkg(tmp_path, files)
+        findings, _ = analyze_package(pkg, hazards=False)
+        # Mult launders the unit (a declared exchange); the bare return
+        # of Joules from a Watts-annotated function does not.
+        assert [f.rule_id for f in findings] == ["UNIT004"]
+        assert "bad" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# baseline round-trip                                                         #
+# --------------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    def test_write_then_suppress_round_trip(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        findings, _ = analyze_package(pkg, units=False)
+        assert findings
+        path = tmp_path / "baseline.json"
+        count = write_baseline(path, findings, {})
+        assert count == len({f.identity() for f in findings})
+
+        baseline = load_baseline(path)
+        new, suppressed, stale = apply_baseline(findings, baseline)
+        assert new == [] and stale == []
+        assert len(suppressed) == len(findings)
+
+    def test_new_violation_still_fails(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        findings, _ = analyze_package(pkg, units=False)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings, {})
+        # Introduce a *new* hazard: the driver now also peeks at the
+        # accumulated energy before end_cycle updates it.
+        mod = pkg / "sim" / "cmp.py"
+        mod.write_text(
+            mod.read_text().replace(
+                "throttle = self.power.throttle\n",
+                "throttle = self.power.throttle\n"
+                "            _peek = self.power.energy\n",
+            )
+        )
+        findings2, _ = analyze_package(pkg, units=False)
+        new, _, stale = apply_baseline(findings2, load_baseline(path))
+        assert any("energy" in f.message for f in new), (
+            [f.render() for f in new]
+        )
+        assert stale == []
+
+    def test_stale_entries_reported(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        findings, _ = analyze_package(pkg, units=False)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings, {})
+        # Fix the hazard (tick the power model first); baselined
+        # fingerprints become stale.
+        (pkg / "sim" / "cmp.py").write_text(CLEAN_SIM["sim/cmp.py"])
+        findings2, _ = analyze_package(pkg, units=False)
+        new, suppressed, stale = apply_baseline(
+            findings2, load_baseline(path)
+        )
+        assert new == [] and suppressed == []
+        assert stale
+
+    def test_justifications_survive_rewrite(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        findings, _ = analyze_package(pkg, units=False)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings, {})
+        old = load_baseline(path)
+        fp = next(iter(old))
+        old[fp] = "documented one-cycle latency"
+        write_baseline(path, findings, old)
+        assert load_baseline(path)[fp] == "documented one-cycle latency"
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+# --------------------------------------------------------------------------- #
+# CLI                                                                         #
+# --------------------------------------------------------------------------- #
+
+
+class TestCLI:
+    def test_flow_json_format(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        proc = run_cli("flow", str(pkg), "--format", "json", "--no-units")
+        assert proc.returncode == 1, proc.stderr
+        doc = json.loads(proc.stdout)
+        assert doc["tool"] == "flow"
+        assert doc["count"] == len(doc["findings"]) > 0
+        f = doc["findings"][0]
+        assert set(f) == {
+            "path", "line", "col", "rule", "message", "fingerprint"
+        }
+        assert f["rule"].startswith("FLOW")
+
+    def test_flow_baseline_gate(self, tmp_path):
+        pkg = write_pkg(tmp_path, HAZARD_SIM)
+        path = tmp_path / "baseline.json"
+        proc = run_cli(
+            "flow", str(pkg), "--baseline", str(path), "--write-baseline"
+        )
+        assert proc.returncode == 0, proc.stderr
+        proc = run_cli("flow", str(pkg), "--baseline", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "suppressed" in proc.stderr
+
+    def test_lint_json_format(self, tmp_path):
+        bad = tmp_path / "core" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import random\n"
+            "def step(now):\n"
+            "    return random.random()\n"
+        )
+        proc = run_cli("lint", str(bad), "--format", "json")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["tool"] == "lint"
+        assert doc["count"] >= 1
+        assert all("fingerprint" in f for f in doc["findings"])
+
+
+# --------------------------------------------------------------------------- #
+# the real tree                                                               #
+# --------------------------------------------------------------------------- #
+
+
+class TestRealTree:
+    def test_src_repro_is_clean_against_baseline(self):
+        findings, notes = analyze_package(SRC_REPRO)
+        assert any("CMPSimulator.run" in n for n in notes), notes
+        new, _, stale = apply_baseline(findings, load_baseline(BASELINE))
+        assert new == [], [f.render() for f in new]
+        assert stale == [], stale
+
+    def test_baseline_entries_are_justified(self):
+        data = json.loads(BASELINE.read_text())
+        for entry in data["findings"]:
+            assert entry["justification"], entry["fingerprint"]
+            assert "TODO" not in entry["justification"], entry["fingerprint"]
+
+    def test_units_module_is_zero_cost(self):
+        from repro.units import Cycles, Joules, Tokens, Watts
+
+        assert Tokens is float and Joules is float
+        assert Watts is float and Cycles is float
