@@ -4,7 +4,11 @@ Each benchmark regenerates one table or figure of the paper through the
 cached :class:`ExperimentRunner`.  The first execution populates the
 on-disk cache (minutes for the big sweeps); later executions replay
 from cache in milliseconds.  Set ``REPRO_SCALE=tiny`` for a quick
-smoke pass that re-simulates everything from scratch.
+smoke pass that re-simulates everything from scratch, and ``REPRO_JOBS``
+to fan cold simulations out over worker processes (each figure plans
+its full recipe list before rendering, so a cold pass parallelizes; the
+cache's per-entry locking keeps concurrent sessions from duplicating
+work).
 """
 
 from __future__ import annotations
@@ -16,7 +20,13 @@ from repro.analysis.runner import ExperimentRunner
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner()
+    r = ExperimentRunner()
+    yield r
+    s = r.stats
+    if s["planned"]:
+        print(f"\n[runner] planned={s['planned']} simulated={s['simulated']} "
+              f"mem_hits={s['mem_hits']} disk_hits={s['disk_hits']} "
+              f"jobs={r.jobs}")
 
 
 def show(text: str) -> None:

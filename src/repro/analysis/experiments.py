@@ -25,7 +25,7 @@ sec4d     Cores-under-TDP analysis
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..budget.ptb import PTBLoadBalancer
 from ..config import CMPConfig, DEFAULT_CONFIG
@@ -36,7 +36,7 @@ from ..sim.results import (
     slowdown_pct,
 )
 from ..workloads import benchmark_names, table2_rows
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, Recipe
 
 #: Techniques evaluated against the naive split (Figure 2).
 NAIVE_TECHNIQUES: Tuple[Tuple[str, Optional[str]], ...] = (
@@ -54,6 +54,148 @@ PTB_FIGURE_TECHNIQUES: Tuple[Tuple[str, Optional[str]], ...] = (
 )
 
 CORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16)
+
+
+# --------------------------------------------------------------------- #
+# recipe declarations                                                    #
+#                                                                        #
+# Each cached figure declares its full recipe list up front; the figure  #
+# function hands the list to ``runner.run_many`` (plan -> fan out ->     #
+# gather) before rendering, so cold recipes simulate in parallel and     #
+# the rendering loops below always hit the warm memo.  The CLI unions    #
+# these lists across figures for one whole-report fan-out.               #
+# --------------------------------------------------------------------- #
+
+def fig2_recipes(
+    cores: int = 16,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Recipe]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    return [Recipe(b, cores) for b in names] + [
+        Recipe(b, cores, t, p) for b in names for t, p in NAIVE_TECHNIQUES
+    ]
+
+
+def fig3_recipes(
+    core_counts: Sequence[int] = CORE_COUNTS,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Recipe]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    return [Recipe(b, n) for b in names for n in core_counts]
+
+
+#: Figure 4 reuses Figure 3's base runs verbatim.
+fig4_recipes = fig3_recipes
+
+
+def _detail_recipes(
+    policy: Optional[str],
+    cores: int,
+    benchmarks: Optional[Sequence[str]],
+    relax: float = 0.0,
+) -> List[Recipe]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out = [Recipe(b, cores) for b in names]
+    for b in names:
+        for technique, _ in PTB_FIGURE_TECHNIQUES:
+            pol = policy if technique == "ptb" else None
+            out.append(Recipe(b, cores, technique, pol,
+                              relax if technique == "ptb" else 0.0))
+    return out
+
+
+def fig9_recipes(
+    core_counts: Sequence[int] = CORE_COUNTS,
+    policies: Sequence[str] = ("toone", "toall"),
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Recipe]:
+    out: List[Recipe] = []
+    for policy in policies:
+        for cores in core_counts:
+            out.extend(_detail_recipes(policy, cores, benchmarks))
+    return out
+
+
+def fig10_recipes(
+    cores: int = 16, benchmarks: Optional[Sequence[str]] = None
+) -> List[Recipe]:
+    return _detail_recipes("toall", cores, benchmarks)
+
+
+def fig11_recipes(
+    cores: int = 16, benchmarks: Optional[Sequence[str]] = None
+) -> List[Recipe]:
+    return _detail_recipes("toone", cores, benchmarks)
+
+
+def fig12_recipes(
+    cores: int = 16, benchmarks: Optional[Sequence[str]] = None
+) -> List[Recipe]:
+    return _detail_recipes("dynamic", cores, benchmarks)
+
+
+def fig13_recipes(
+    cores: int = 16, benchmarks: Optional[Sequence[str]] = None
+) -> List[Recipe]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    return [Recipe(b, cores) for b in names] + [
+        Recipe(b, cores, "ptb", "dynamic") for b in names
+    ]
+
+
+def fig14_recipes(
+    core_counts: Sequence[int] = CORE_COUNTS,
+    policies: Sequence[str] = ("toone", "toall"),
+    relax: float = 0.2,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Recipe]:
+    names = list(benchmarks if benchmarks is not None else benchmark_names())
+    out = fig9_recipes(core_counts, policies, names)
+    out.extend(
+        Recipe(b, cores, "ptb", policy, relax)
+        for policy in policies for cores in core_counts for b in names
+    )
+    return out
+
+
+def sec4d_recipes(
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[Recipe]:
+    return fig9_recipes(core_counts=(16,), policies=("toall",),
+                        benchmarks=benchmarks)
+
+
+#: Figure name -> zero-argument recipe declaration with the figure's
+#: defaults (what ``python -m repro.analysis`` renders).  Figures absent
+#: here are static or uncached (tables, worked examples, fig6 traces).
+FIGURE_RECIPES: Dict[str, Callable[[], List[Recipe]]] = {
+    "fig2": fig2_recipes,
+    "fig3": fig3_recipes,
+    "fig4": fig4_recipes,
+    "fig9": fig9_recipes,
+    "fig10": fig10_recipes,
+    "fig11": fig11_recipes,
+    "fig12": fig12_recipes,
+    "fig13": fig13_recipes,
+    "fig14": fig14_recipes,
+    "sec4d": sec4d_recipes,
+}
+
+
+def recipes_for(figures: Iterable[str]) -> List[Recipe]:
+    """The union (order-preserving, deduplicated) of the named figures'
+    recipe lists."""
+    seen: set = set()
+    out: List[Recipe] = []
+    for name in figures:
+        decl = FIGURE_RECIPES.get(name)
+        if decl is None:
+            continue
+        for recipe in decl():
+            if recipe not in seen:
+                seen.add(recipe)
+                out.append(recipe)
+    return out
 
 
 # --------------------------------------------------------------------- #
@@ -85,6 +227,7 @@ def fig2_naive_split(
     an ``"Avg."`` row, as in Figure 2.
     """
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig2_recipes(cores, names))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     sums: Dict[str, List[float]] = {t: [0.0, 0.0] for t, _ in NAIVE_TECHNIQUES}
     for b in names:
@@ -116,6 +259,7 @@ def fig3_time_breakdown(
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Execution-time fractions per sync phase vs core count."""
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig3_recipes(core_counts, names))
     out: Dict[str, Dict[int, Dict[str, float]]] = {}
     for b in names:
         out[b] = {}
@@ -131,6 +275,7 @@ def fig4_spin_power(
 ) -> Dict[str, Dict[int, float]]:
     """Spin power as a fraction of total power vs core count."""
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig4_recipes(core_counts, names))
     out: Dict[str, Dict[int, float]] = {}
     for b in names:
         out[b] = {
@@ -315,6 +460,7 @@ def fig9_core_policy_sweep(
     paper's figure.
     """
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig9_recipes(core_counts, policies, names))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for policy in policies:
         for cores in core_counts:
@@ -345,6 +491,7 @@ def _detail_figure(
     relax: float = 0.0,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(_detail_recipes(policy, cores, names, relax))
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     sums: Dict[str, List[float]] = {}
     for b in names:
@@ -404,6 +551,7 @@ def fig13_performance(
 ) -> Dict[str, float]:
     """Per-benchmark slowdown of PTB+2level (dynamic selector)."""
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig13_recipes(cores, names))
     out: Dict[str, float] = {}
     for b in names:
         base = runner.base(b, cores)
@@ -423,6 +571,7 @@ def fig14_relaxed_ptb(
     """Figure 9 plus the relaxed ("Restricted" in the figure legend)
     PTB variant that trades accuracy for energy (Section IV.C)."""
     names = list(benchmarks if benchmarks is not None else benchmark_names())
+    runner.run_many(fig14_recipes(core_counts, policies, relax, names))
     out = fig9_core_policy_sweep(runner, core_counts, policies, names)
     for policy in policies:
         for cores in core_counts:

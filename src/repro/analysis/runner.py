@@ -1,4 +1,4 @@
-"""Experiment runner with a persistent result cache.
+"""Experiment runner with a persistent, concurrency-safe result cache.
 
 Every figure of the paper aggregates dozens of simulation runs, and
 several figures share runs (the base case of Figure 2 is the base case
@@ -6,19 +6,58 @@ of Figures 9-14).  The runner memoises :class:`SimResult` objects on
 disk, keyed by the full run recipe, so regenerating all figures costs
 each distinct simulation exactly once.
 
-Set the environment variable ``REPRO_CACHE`` to relocate the cache, and
+The runner is a three-stage machine:
+
+1. **plan** — collect every :class:`Recipe` a figure set needs, dedupe
+   them, and partition into warm (memory/disk cache hit) and cold.
+2. **fan out** — simulate the cold recipes, either inline (``jobs=1``)
+   or across a ``ProcessPoolExecutor`` (``--jobs N`` /  ``REPRO_JOBS``,
+   default ``os.cpu_count()``).  Workers re-build the simulation from
+   the recipe + seed, so results are identical however they are
+   scheduled.
+3. **gather** — collect ``SimResult`` objects back in recipe order, so
+   serial and parallel renders are byte-identical.
+
+The disk cache is safe under concurrency and crashes:
+
+* writes go to a temp file in the cache directory and are published
+  with ``os.replace`` (atomic on POSIX and Windows), so a reader never
+  observes a half-written entry;
+* each entry takes a per-entry advisory lock (``fcntl``) around the
+  check-simulate-store critical section, so two *processes* racing on
+  the same recipe simulate it once;
+* an entry that fails to unpickle is quarantined (renamed to
+  ``*.corrupt``) for inspection instead of being silently unlinked.
+
+Set the environment variable ``REPRO_CACHE`` to relocate the cache,
 ``REPRO_SCALE`` (tiny/small/medium/large) to change the default
-simulation scale.
+simulation scale, and ``REPRO_JOBS`` to change the default worker
+count.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
-from dataclasses import replace
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:  # POSIX advisory locking; degrade gracefully elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..config import CMPConfig
 from ..sim.cmp import CMPSimulator
@@ -26,10 +65,23 @@ from ..sim.results import SimResult
 from ..workloads import build_program
 
 #: Bump when any model change invalidates previously cached results.
-CACHE_VERSION = 7
+#: v8: PTBController charges donors for every in-flight pledge (the
+#: full balancer pipe), changing every PTB ``SimResult``.
+CACHE_VERSION = 8
 
 #: Budget fraction used throughout the paper's evaluation (Section IV).
 DEFAULT_BUDGET_FRACTION = 0.5
+
+
+class Recipe(NamedTuple):
+    """One fully-specified simulation run (hashable, picklable)."""
+
+    benchmark: str
+    cores: int
+    technique: str = "none"
+    policy: Optional[str] = None
+    relax: float = 0.0
+    budget_fraction: Optional[float] = DEFAULT_BUDGET_FRACTION
 
 
 def default_cache_dir() -> Path:
@@ -43,6 +95,127 @@ def default_scale() -> str:
     return os.environ.get("REPRO_SCALE", "small")
 
 
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` env var, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+    return os.cpu_count() or 1
+
+
+# -- cache entry primitives (module-level: shared by workers) ---------------
+
+
+@contextlib.contextmanager
+def _entry_lock(path: Path) -> Iterator[None]:
+    """Advisory per-entry lock so two workers never simulate one recipe.
+
+    Lives next to the entry as ``<entry>.lock``; processes without
+    ``fcntl`` (non-POSIX) fall back to lock-free operation, which is
+    still crash-safe (atomic publish) just not duplicate-proof.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with lock_path.open("a") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def _load_entry(path: Path) -> Optional[SimResult]:
+    """Read one cache entry; quarantine (never silently drop) corruption."""
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # A truncated or stale-format entry is evidence of a bug or a
+        # crash — keep it for inspection instead of unlinking.
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            pass
+        return None
+
+
+def _store_entry(path: Path, result: SimResult) -> None:
+    """Atomically publish one cache entry (write temp + ``os.replace``).
+
+    A crash mid-write leaves only a ``*.tmp.<pid>`` file behind; the
+    final path transitions from absent to complete in one step.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _simulate(recipe: Recipe, scale, max_cycles: int, seed: int) -> SimResult:
+    """Build and run one simulation from scratch (deterministic in seed)."""
+    cfg = CMPConfig(num_cores=recipe.cores)
+    if recipe.relax:
+        cfg = cfg.with_ptb(relax_threshold=recipe.relax)
+    program = build_program(recipe.benchmark, recipe.cores, scale=scale,
+                            seed=seed)
+    sim = CMPSimulator(
+        cfg, program, technique=recipe.technique,
+        budget_fraction=recipe.budget_fraction, ptb_policy=recipe.policy,
+        seed=seed,
+    )
+    return sim.run(max_cycles)
+
+
+def _worker(spec: Tuple[Recipe, object, int, int, Optional[str]]) -> SimResult:
+    """Process-pool entry point: load-or-simulate one recipe.
+
+    ``spec`` is ``(recipe, scale, max_cycles, seed, cache_dir)`` — all
+    picklable primitives, so the worker re-seeds and rebuilds the whole
+    simulator in a fresh process.  With a cache directory the worker
+    takes the entry lock, re-checks the disk (another process may have
+    finished the recipe meanwhile), and publishes its result atomically.
+    """
+    recipe, scale, max_cycles, seed, cache_dir = spec
+    if cache_dir is None:
+        return _simulate(recipe, scale, max_cycles, seed)
+    path = _entry_path(Path(cache_dir), _cache_key(recipe, scale,
+                                                  max_cycles, seed))
+    result = _load_entry(path)
+    if result is not None:
+        return result
+    with _entry_lock(path):
+        result = _load_entry(path)
+        if result is None:
+            result = _simulate(recipe, scale, max_cycles, seed)
+            _store_entry(path, result)
+    return result
+
+
+def _cache_key(recipe: Recipe, scale, max_cycles: int, seed: int) -> tuple:
+    return (
+        CACHE_VERSION, recipe.benchmark, recipe.cores, recipe.technique,
+        recipe.policy, recipe.relax, recipe.budget_fraction, str(scale),
+        max_cycles, seed,
+    )
+
+
+def _entry_path(cache_dir: Path, key: tuple) -> Path:
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+    return cache_dir / f"run_{digest}.pkl"
+
+
 class ExperimentRunner:
     """Runs (benchmark, cores, technique, policy, ...) recipes, cached."""
 
@@ -53,13 +226,20 @@ class ExperimentRunner:
         max_cycles: int = 400_000,
         seed: int = 2011,
         use_cache: bool = True,
+        jobs: Optional[int] = None,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_cycles = max_cycles
         self.seed = seed
         self.use_cache = use_cache
+        self.jobs = jobs if jobs is not None else default_jobs()
         self._mem: Dict[tuple, SimResult] = {}
+        #: Plan/fan-out statistics of this runner's lifetime, consumed by
+        #: the CLI's ``BENCH_runner.json`` emitter.
+        self.stats: Dict[str, int] = {
+            "planned": 0, "mem_hits": 0, "disk_hits": 0, "simulated": 0,
+        }
         if self.use_cache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -74,14 +254,79 @@ class ExperimentRunner:
         relax: float,
         budget_fraction: Optional[float],
     ) -> tuple:
-        return (
-            CACHE_VERSION, benchmark, cores, technique, policy, relax,
-            budget_fraction, str(self.scale), self.max_cycles, self.seed,
-        )
+        recipe = Recipe(benchmark, cores, technique, policy, relax,
+                        budget_fraction)
+        return _cache_key(recipe, self.scale, self.max_cycles, self.seed)
 
     def _path(self, key: tuple) -> Path:
-        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
-        return self.cache_dir / f"run_{digest}.pkl"
+        return _entry_path(self.cache_dir, key)
+
+    # -- plan / fan out / gather -------------------------------------------
+
+    def plan(self, recipes: Iterable[Recipe]) -> List[Recipe]:
+        """Stage 1: dedupe ``recipes`` against the memory and disk caches.
+
+        Returns the *cold* recipes (first occurrence order preserved);
+        disk hits are pulled into the in-memory memo as a side effect so
+        a subsequent :meth:`run` is free.
+        """
+        cold: List[Recipe] = []
+        seen: set = set()
+        for recipe in recipes:
+            recipe = Recipe(*recipe)
+            key = _cache_key(recipe, self.scale, self.max_cycles, self.seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.stats["planned"] += 1
+            if key in self._mem:
+                self.stats["mem_hits"] += 1
+                continue
+            if self.use_cache:
+                hit = _load_entry(self._path(key))
+                if hit is not None:
+                    self.stats["disk_hits"] += 1
+                    self._mem[key] = hit
+                    continue
+            cold.append(recipe)
+        return cold
+
+    def run_many(
+        self,
+        recipes: Sequence[Recipe],
+        jobs: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Plan, fan out the cold recipes, and gather deterministically.
+
+        Returns one :class:`SimResult` per input recipe, in input order
+        (duplicates included), regardless of worker count — parallel and
+        serial renders are byte-identical.
+        """
+        recipes = [Recipe(*r) for r in recipes]
+        cold = self.plan(recipes)
+        jobs = jobs if jobs is not None else self.jobs
+        cache_dir = str(self.cache_dir) if self.use_cache else None
+        if cold:
+            self.stats["simulated"] += len(cold)
+            specs = [
+                (r, self.scale, self.max_cycles, self.seed, cache_dir)
+                for r in cold
+            ]
+            if jobs > 1 and len(cold) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(cold))
+                ) as pool:
+                    results = list(pool.map(_worker, specs))
+            else:
+                results = [_worker(spec) for spec in specs]
+            for recipe, result in zip(cold, results):
+                key = _cache_key(recipe, self.scale, self.max_cycles,
+                                 self.seed)
+                self._mem[key] = result
+        return [
+            self._mem[_cache_key(r, self.scale, self.max_cycles, self.seed)]
+            for r in recipes
+        ]
 
     # -- running ---------------------------------------------------------------
 
@@ -95,37 +340,19 @@ class ExperimentRunner:
         budget_fraction: Optional[float] = DEFAULT_BUDGET_FRACTION,
     ) -> SimResult:
         """Run one recipe (or fetch it from the cache)."""
-        key = self._key(benchmark, cores, technique, policy, relax,
+        recipe = Recipe(benchmark, cores, technique, policy, relax,
                         budget_fraction)
+        key = _cache_key(recipe, self.scale, self.max_cycles, self.seed)
         hit = self._mem.get(key)
         if hit is not None:
             return hit
-        if self.use_cache:
-            path = self._path(key)
-            if path.exists():
-                try:
-                    with path.open("rb") as fh:
-                        result = pickle.load(fh)
-                    self._mem[key] = result
-                    return result
-                except Exception:
-                    path.unlink(missing_ok=True)
-
-        cfg = CMPConfig(num_cores=cores)
-        if relax:
-            cfg = cfg.with_ptb(relax_threshold=relax)
-        program = build_program(benchmark, cores, scale=self.scale,
-                                seed=self.seed)
-        sim = CMPSimulator(
-            cfg, program, technique=technique,
-            budget_fraction=budget_fraction, ptb_policy=policy,
-            seed=self.seed,
-        )
-        result = sim.run(self.max_cycles)
+        if not self.plan([recipe]):
+            return self._mem[key]
+        self.stats["simulated"] += 1
+        cache_dir = str(self.cache_dir) if self.use_cache else None
+        result = _worker((recipe, self.scale, self.max_cycles, self.seed,
+                          cache_dir))
         self._mem[key] = result
-        if self.use_cache:
-            with self._path(key).open("wb") as fh:
-                pickle.dump(result, fh)
         return result
 
     def base(self, benchmark: str, cores: int) -> SimResult:
@@ -142,10 +369,16 @@ class ExperimentRunner:
         relax: float = 0.0,
     ) -> Dict[str, Dict[Tuple[str, Optional[str]], SimResult]]:
         """Run every (technique, policy) recipe for every benchmark."""
+        benchmarks = list(benchmarks)
+        pairs = list(recipes)
+        self.run_many([
+            Recipe(b, cores, technique, policy, relax)
+            for b in benchmarks for technique, policy in pairs
+        ])
         out: Dict[str, Dict[Tuple[str, Optional[str]], SimResult]] = {}
         for b in benchmarks:
             out[b] = {}
-            for technique, policy in recipes:
+            for technique, policy in pairs:
                 out[b][(technique, policy)] = self.run(
                     b, cores, technique, policy, relax=relax
                 )

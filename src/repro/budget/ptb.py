@@ -183,6 +183,12 @@ class PTBController(LocalBudgetController):
         self.global_token_budget: Tokens = self.token_budget * cfg.num_cores
         self._grants: List[Tokens] = [0] * cfg.num_cores
         self._last_spares: List[Tokens] = [0] * cfg.num_cores
+        self._last_overs: List[Tokens] = [0] * cfg.num_cores
+        #: Per-core effective token budget of the last completed cycle:
+        #: allotment + delivered grants - every pledge still in flight.
+        self.effective_budgets: List[Tokens] = (
+            [self.token_budget] * cfg.num_cores
+        )
         #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
         self._sanitizer = None
         self.policy_switches = 0
@@ -238,18 +244,31 @@ class PTBController(LocalBudgetController):
         # already over would leave every power ramp uncovered for a full
         # round trip.
         near_floor = int(t_local * 0.85)
+        # A pledging core's usable allotment shrinks by *everything* it
+        # has reported spare that the balancer has not delivered yet —
+        # the pipe holds `latency` cycles of undelivered pledges, not
+        # just the last cycle's.  Snapshot before this cycle's reports
+        # enter the pipe.
+        pledged = [self.balancer.pending_pledge(i) for i in range(n)]
         for i in range(n):
-            # A pledging core's usable allotment shrinks by what it
-            # reported spare and is still in flight this cycle.
-            pledge = self._last_spares[i]
-            usable = t_local - pledge + self._grants[i]
-            request = tokens[i] - min(int(usable), near_floor)
-            if request > 0:
-                overs[i] = int(request)
+            usable = t_local - pledged[i] + self._grants[i]
+            if tokens[i] >= near_floor:
+                # Power-hungry (at or approaching the allotment):
+                # request the gap between consumption and what is
+                # actually usable.  In-flight pledges shrink `usable`,
+                # so a ramping ex-donor asks for its own escrowed
+                # tokens back instead of spending them a second time
+                # while the balancer grants them to someone else.
+                request = tokens[i] - min(int(usable), near_floor)
+                if request > 0:
+                    overs[i] = int(request)
             elif tokens[i] < t_local:
                 # Spares flow whenever they exist (Figure 7's barrier
                 # example): a spinner's unused allotment continuously
-                # subsidises whoever is doing useful work.
+                # subsidises whoever is doing useful work.  Each cycle's
+                # spare is drawn from that cycle's fresh allotment, so
+                # pending pledges don't reduce the *flow* a steady
+                # spinner offers — they reduce what it may *spend*.
                 spare = int(t_local - tokens[i])
                 if spare > 0:
                     spares[i] = spare
@@ -266,7 +285,9 @@ class PTBController(LocalBudgetController):
             else []
         )
         self._grants = self.balancer.cycle(spares, overs, policy, priority)
+        # Last cycle's reports, kept for observability (tests, sanitizers).
         self._last_spares = spares
+        self._last_overs = overs
 
         # --- actuators for next cycle -----------------------------------------
         throttles = self._throttles
@@ -278,15 +299,35 @@ class PTBController(LocalBudgetController):
             th = throttles[i]
             # Control plane: a pledging donor runs under a restricted
             # budget until its tokens land (paper Section III.E.2).
-            eff_budget = t_local + self._grants[i] - self._last_spares[i]
+            # Restriction covers the full round trip: every snapshot
+            # still in the pipe (pledged[i] was taken before this
+            # cycle's reports entered it, so add spares[i]) including
+            # the one delivered as this cycle's grants — the donor
+            # stays restricted through the cycle its tokens are spent,
+            # so sum(effective budgets) + pipe contents never exceeds
+            # the global token budget.
+            eff_budget = t_local + self._grants[i] - (pledged[i] + spares[i])
+            self.effective_budgets[i] = eff_budget
             # Metric plane: the AoPB budget line rises with granted
             # tokens; a donor is simply under its local line, so the
             # pledge does not lower the line it is measured against.
             self.budget_lines[i] = self.local_budget + self.energy.tokens_to_eu(
                 self._grants[i]
             )
-            trigger = eff_budget * (1.0 + relax)
-            if global_over and tokens[i] > trigger and eff_budget > 0:
+            if global_over and eff_budget <= 0 and tokens[i] > 0:
+                # The core pledged its whole allotment away (or more)
+                # and is consuming anyway: in-flight tokens must not be
+                # spendable by the donor and grantable to a receiver
+                # simultaneously.  Graded against the nominal allotment
+                # (eff_budget can't scale a deficit), so a lightly
+                # spinning donor is nudged while a deeply overdrawn one
+                # is gated.  No relax slack here: relaxation spares
+                # performance-critical work, not escrow violations.
+                overshoot = (tokens[i] - eff_budget) / t_local
+                th.set(select_technique(overshoot))
+                self.throttled_cycles += 1
+            elif (global_over and eff_budget > 0
+                    and tokens[i] > eff_budget * (1.0 + relax)):
                 overshoot = (tokens[i] - eff_budget) / eff_budget
                 th.set(select_technique(overshoot))
                 self.throttled_cycles += 1

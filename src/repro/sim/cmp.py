@@ -164,7 +164,6 @@ class CMPSimulator:
         aopb = 0.0
         aopb_global = 0.0
         max_power = 0.0
-        committed0 = 0
 
         trace: Optional[list] = [] if self.collect_traces else None
         core_traces: Optional[list] = [] if self.collect_traces else None
@@ -229,7 +228,7 @@ class CMPSimulator:
             cycle += 1
 
         thermal.flush()
-        committed = sum(c.committed for c in cores) - committed0
+        committed = sum(c.committed for c in cores)
         ptht_hits = sum(c.accountant.ptht.hits for c in cores)
         ptht_total = ptht_hits + sum(c.accountant.ptht.misses for c in cores)
 
@@ -270,10 +269,11 @@ def run_simulation(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     collect_traces: bool = False,
     token_map: Optional[TokenClassMap] = None,
+    prewarm: bool = True,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`CMPSimulator`."""
     sim = CMPSimulator(
         cfg, program, technique, budget_fraction, ptb_policy, seed,
-        token_map, collect_traces,
+        token_map, collect_traces, prewarm,
     )
     return sim.run(max_cycles)

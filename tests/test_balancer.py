@@ -135,3 +135,60 @@ class TestProperties:
         needy_grants = [g for g, o in zip(grants, overs) if o > 0]
         if needy_grants:
             assert max(needy_grants) - min(needy_grants) <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_with_priority_grants_never_exceed_pool(self, data):
+        pool = data.draw(st.integers(0, 1000))
+        overs = data.draw(st.lists(st.integers(0, 100), min_size=1,
+                                   max_size=16))
+        policy = data.draw(st.sampled_from(["toall", "toone"]))
+        priority = data.draw(
+            st.lists(st.integers(0, len(overs) - 1), max_size=4,
+                     unique=True)
+        )
+        grants = PTBLoadBalancer.distribute(pool, overs, policy, priority)
+        assert sum(grants) <= pool
+        assert all(g >= 0 for g in grants)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_toone_priority_cores_served_first(self, data):
+        """Under ToOne, contended-lock holders are served *fully* before
+        any non-priority core sees a token (paper Section IV.B)."""
+        pool = data.draw(st.integers(1, 1000))
+        overs = data.draw(st.lists(st.integers(0, 100), min_size=2,
+                                   max_size=16))
+        priority = data.draw(
+            st.lists(st.integers(0, len(overs) - 1), min_size=1,
+                     max_size=4, unique=True)
+        )
+        grants = PTBLoadBalancer.distribute(pool, overs, "toone", priority)
+        others_served = any(
+            grants[i] > 0 for i in range(len(overs)) if i not in priority
+        )
+        if others_served:
+            for p in priority:
+                want = max(overs[p] * 2, 1)
+                assert grants[p] == want  # fully served, with headroom
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_toall_shares_differ_by_at_most_one(self, data):
+        """ToAll splits the pool evenly across the needy + priority set,
+        remainder spread one token at a time."""
+        pool = data.draw(st.integers(1, 500))
+        overs = data.draw(st.lists(st.integers(0, 50), min_size=2,
+                                   max_size=12))
+        priority = data.draw(
+            st.lists(st.integers(0, len(overs) - 1), max_size=3,
+                     unique=True)
+        )
+        grants = PTBLoadBalancer.distribute(pool, overs, "toall", priority)
+        served = [
+            grants[i] for i in range(len(overs))
+            if overs[i] > 0 or i in priority
+        ]
+        if served:
+            assert max(served) - min(served) <= 1
+            assert sum(grants) == pool  # whole pool distributed, no minting

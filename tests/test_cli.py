@@ -1,5 +1,7 @@
 """Tests for the report-generation CLI."""
 
+import json
+
 import pytest
 
 from repro.analysis.cli import RENDERERS, main
@@ -35,3 +37,53 @@ class TestCLI:
         main(["table1", "--out", str(tmp_path)])
         text = (tmp_path / "table1.txt").read_text()
         assert "MOESI" in text and "3000 MHz" in text
+
+    def test_static_render_writes_no_bench_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["fig7", "--out", str(tmp_path / "r")])
+        assert not (tmp_path / "BENCH_runner.json").exists()
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--jobs", "0", "--out", str(tmp_path)])
+
+
+class TestParallelCLI:
+    """--jobs N and --jobs 1 produce byte-identical reports, and each
+    cold render appends a wall-clock entry to BENCH_runner.json."""
+
+    @pytest.fixture(autouse=True)
+    def small_world(self, tmp_path, monkeypatch):
+        # Two benchmarks, tiny scale, private cache: seconds not minutes.
+        from repro.analysis import experiments as ex
+
+        monkeypatch.setattr(ex, "benchmark_names",
+                            lambda: ["swaptions", "blackscholes"])
+        monkeypatch.setattr(ex, "CORE_COUNTS", (2,))
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        self.tmp = tmp_path
+
+    def _render(self, jobs, tag):
+        out = self.tmp / f"out_{tag}"
+        bench = self.tmp / "BENCH_runner.json"
+        rc = main(["fig3", "--scale", "tiny", "--jobs", str(jobs),
+                   "--out", str(out), "--bench-out", str(bench)])
+        assert rc == 0
+        return (out / "fig3.txt").read_bytes()
+
+    def test_jobs_determinism_and_bench_entries(self, monkeypatch):
+        a = self._render(2, "j2")
+        # Fresh cache for the serial run: a true cold re-render.
+        monkeypatch.setenv("REPRO_CACHE", str(self.tmp / "cache1"))
+        b = self._render(1, "j1")
+        assert a == b  # byte-identical across worker counts
+        data = json.loads((self.tmp / "BENCH_runner.json").read_text())
+        jobs = [e["jobs"] for e in data["entries"]]
+        assert jobs == [2, 1]
+        for e in data["entries"]:
+            assert e["wall_seconds"] > 0
+            # Cold render: everything simulated once, then the figure
+            # function's own plan pass re-finds it all warm in memory.
+            assert e["simulated"] > 0
+            assert e["planned"] >= e["simulated"]
+            assert e["mem_hits"] >= e["simulated"]

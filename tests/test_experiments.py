@@ -94,9 +94,16 @@ class TestFig9Family:
         )
         agg = data["2Core_Toall"]
         assert "ptb_relaxed" in agg
+        # Relaxation trades budget-matching accuracy away: the relaxed
+        # variant's AoPB is no better than strict PTB's (it throttles
+        # less), and its energy stays within a few points of strict.
+        # (With in-flight pledges escrowed — the v8 accounting — strict
+        # throttling of overdrawn donors itself saves spin energy, so
+        # relaxed no longer undercuts strict on energy at tiny scale.)
+        assert agg["ptb_relaxed"]["aopb_pct"] >= agg["ptb"]["aopb_pct"] - 0.1
         assert (
-            agg["ptb_relaxed"]["energy_pct"]
-            <= agg["ptb"]["energy_pct"] + 0.6
+            abs(agg["ptb_relaxed"]["energy_pct"] - agg["ptb"]["energy_pct"])
+            <= 5.0
         )
 
     def test_performance_figure(self, tiny_runner):

@@ -1,0 +1,163 @@
+"""In-flight pledge accounting (paper Section III.E.2).
+
+The balancer round trip is 3-10 cycles, so at any instant the pipe
+holds several cycles of pledged-but-undelivered spares.  The paper's
+central conservation claim is that the global budget holds *even while
+tokens are in flight*: a pledging donor runs under a correspondingly
+more restrictive budget until the pledge lands.  These tests pin that
+down at latency 5 (the paper's 8-core constant): the donor's effective
+budget is reduced by the *full* in-flight pledge sum — not just the
+most recent cycle's spares — every cycle of the round trip, and
+
+    sum(effective budgets) + sum(pipe contents) <= global token budget
+
+holds every cycle.
+"""
+
+import pytest
+
+from repro.budget.ptb import PTBController
+from repro.config import CMPConfig
+from repro.power.model import EnergyModel
+
+CORES = 8  # paper latency constant: 5 cycles for an 8-core CMP
+
+
+@pytest.fixture(scope="module")
+def ctl_env():
+    cfg = CMPConfig(num_cores=CORES)
+    energy = EnergyModel(cfg)
+    budget = 0.5 * energy.global_peak_power(CORES)
+    return cfg, energy, budget
+
+
+def make_controller(ctl_env) -> PTBController:
+    cfg, energy, budget = ctl_env
+    return PTBController(cfg, energy, budget, policy="toall")
+
+
+def powers_for(ctl, tokens):
+    """Power readings consistent with the given token reports."""
+    return [ctl.energy.tokens_to_eu(t) + ctl.energy.uncontrollable_power
+            for t in tokens]
+
+
+class TestDonorRestriction:
+    def test_latency_is_five(self, ctl_env):
+        ctl = make_controller(ctl_env)
+        assert ctl.balancer.latency == 5
+
+    def test_restricted_by_full_inflight_sum_every_cycle(self, ctl_env):
+        """Regression: the donor's effective budget shrinks by every
+        pledge still in flight (delivered-this-cycle included), not just
+        ``_last_spares`` — at latency 5 the difference is 5 cycles of
+        spares, exactly the paper's 8-core round trip."""
+        ctl = make_controller(ctl_env)
+        t_local = ctl.token_budget
+        latency = ctl.balancer.latency
+        # Core 0 spins (steady donor); the rest run hot enough that the
+        # CMP stays around the global budget.
+        donor_tokens = int(t_local * 0.2)
+        tokens = [donor_tokens] + [int(t_local * 1.2)] * (CORES - 1)
+        powers = powers_for(ctl, tokens)
+
+        pledge_log = []
+        for cyc in range(3 * latency):
+            ctl.end_cycle(cyc, list(tokens), list(powers))
+            pledge_log.append(ctl._last_spares[0])
+            assert pledge_log[-1] > 0  # the donor pledges every cycle
+            # Restriction window: every pledge made in the last
+            # latency+1 cycles (the pipe plus the snapshot delivered as
+            # this cycle's grants).
+            window = pledge_log[max(0, len(pledge_log) - (latency + 1)):]
+            expected = t_local + ctl._grants[0] - sum(window)
+            assert ctl.effective_budgets[0] == pytest.approx(expected)
+            # Strictly tighter than the pre-fix accounting (last cycle
+            # only) as soon as more than one pledge is in flight.
+            if cyc >= 1:
+                lax = t_local + ctl._grants[0] - pledge_log[-1]
+                assert ctl.effective_budgets[0] < lax
+
+    def test_conservation_with_pledges_in_flight(self, ctl_env):
+        """sum(effective budgets) + sum(pipe contents) <= global budget,
+        every cycle of the round trip and beyond (acceptance invariant).
+        """
+        ctl = make_controller(ctl_env)
+        t_local = ctl.token_budget
+        latency = ctl.balancer.latency
+        tokens = [int(t_local * 0.2), int(t_local * 0.5)] + [
+            int(t_local * 1.3)
+        ] * (CORES - 2)
+        powers = powers_for(ctl, tokens)
+        for cyc in range(4 * latency):
+            ctl.end_cycle(cyc, list(tokens), list(powers))
+            pipe = sum(
+                ctl.balancer.pending_pledge(i) for i in range(CORES)
+            )
+            assert (
+                sum(ctl.effective_budgets) + pipe
+                <= ctl.global_token_budget + 1e-9
+            )
+
+    def test_conservation_when_donor_stops_pledging(self, ctl_env):
+        """The invariant also holds across a donor ramp: pledges made
+        while spinning keep restricting the core after it ramps up, so
+        in-flight tokens are never spendable twice."""
+        ctl = make_controller(ctl_env)
+        t_local = ctl.token_budget
+        latency = ctl.balancer.latency
+        spin = [int(t_local * 0.2)] + [int(t_local * 1.2)] * (CORES - 1)
+        ramp = [int(t_local * 1.2)] * CORES
+        for cyc in range(4 * latency):
+            tokens = spin if cyc < 2 * latency else ramp
+            ctl.end_cycle(cyc, list(tokens), powers_for(ctl, tokens))
+            pipe = sum(
+                ctl.balancer.pending_pledge(i) for i in range(CORES)
+            )
+            assert (
+                sum(ctl.effective_budgets) + pipe
+                <= ctl.global_token_budget + 1e-9
+            )
+            if cyc == 2 * latency:
+                # The freshly-ramped ex-donor is still restricted by its
+                # spinning-era pledges.
+                assert ctl.effective_budgets[0] < t_local
+
+    def test_ramping_ex_donor_requests_escrow_back(self, ctl_env):
+        """A donor that ramps up while its pledges are in flight asks
+        the balancer for tokens covering the escrow gap instead of
+        silently spending the pledged amount a second time."""
+        ctl = make_controller(ctl_env)
+        t_local = ctl.token_budget
+        latency = ctl.balancer.latency
+        spin = [int(t_local * 0.2)] + [int(t_local * 0.9)] * (CORES - 1)
+        ramp = [int(t_local)] + [int(t_local * 0.9)] * (CORES - 1)
+        for cyc in range(latency):
+            ctl.end_cycle(cyc, list(spin), powers_for(ctl, spin))
+        ctl.end_cycle(latency, list(ramp), powers_for(ctl, ramp))
+        # Its request covers consumption over the *usable* (escrowed)
+        # allotment, which is strictly larger than the naive
+        # consumption-over-floor request.
+        pledged = ctl.balancer.pending_pledge(0)
+        assert pledged > 0
+        naive = int(t_local) - int(t_local * 0.85)
+        assert ctl._last_overs[0] > naive
+
+
+class TestThrottleUnderEscrow:
+    def test_overdrawn_donor_throttled_when_global_over(self, ctl_env):
+        """A core that pledged its allotment away and consumes anyway is
+        throttled while the CMP is over budget (the double-spend the
+        pledge accounting exists to prevent)."""
+        from repro.power.microarch import Technique
+
+        ctl = make_controller(ctl_env)
+        t_local = ctl.token_budget
+        latency = ctl.balancer.latency
+        # Heavy global overshoot; core 0 spins and pledges continuously.
+        tokens = [int(t_local * 0.3)] + [int(t_local * 1.6)] * (CORES - 1)
+        powers = powers_for(ctl, tokens)
+        for cyc in range(2 * (latency + 1)):
+            ctl.end_cycle(cyc, list(tokens), list(powers))
+        assert ctl.effective_budgets[0] <= 0
+        assert ctl.technique_of(0) != Technique.NONE

@@ -1,0 +1,171 @@
+"""The parallel experiment runner: plan/fan-out/gather + cache safety.
+
+Covers the three-stage machine (plan dedupes against memory and disk,
+cold recipes fan out over worker processes, gather is deterministic)
+and the concurrency/crash protocol of the disk cache: atomic publish,
+per-entry advisory locking, corrupt-entry quarantine.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.runner import (
+    ExperimentRunner,
+    Recipe,
+    _entry_lock,
+    _load_entry,
+    _store_entry,
+    default_jobs,
+)
+
+TINY = dict(scale="tiny", max_cycles=30_000)
+
+
+class TestPlan:
+    def test_dedupes_duplicates(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        cold = r.plan([Recipe("swaptions", 2)] * 5 + [Recipe("ocean", 2)])
+        assert cold == [Recipe("swaptions", 2), Recipe("ocean", 2)]
+        assert r.stats["planned"] == 2
+
+    def test_dedupes_against_memory(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r.run("swaptions", 2)
+        cold = r.plan([Recipe("swaptions", 2), Recipe("swaptions", 2, "dvfs")])
+        assert cold == [Recipe("swaptions", 2, "dvfs")]
+        assert r.stats["mem_hits"] == 1
+
+    def test_dedupes_against_disk(self, tmp_path):
+        r1 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r1.run("swaptions", 2)
+        r2 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        cold = r2.plan([Recipe("swaptions", 2)])
+        assert cold == []
+        assert r2.stats["disk_hits"] == 1
+        # The disk hit is now a free in-memory run.
+        assert r2.run("swaptions", 2).cycles == r1.run("swaptions", 2).cycles
+
+    def test_no_cache_everything_cold(self, tmp_path):
+        r1 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r1.run("swaptions", 2)
+        r2 = ExperimentRunner(cache_dir=tmp_path, use_cache=False, **TINY)
+        assert r2.plan([Recipe("swaptions", 2)]) == [Recipe("swaptions", 2)]
+
+
+class TestRunMany:
+    RECIPES = [
+        Recipe("swaptions", 2),
+        Recipe("swaptions", 2, "dvfs"),
+        Recipe("swaptions", 2),  # duplicate of [0]
+        Recipe("ocean", 2, "ptb", "toall"),
+    ]
+
+    def test_gather_order_matches_input(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        results = r.run_many(self.RECIPES)
+        assert len(results) == len(self.RECIPES)
+        assert results[0] is results[2]
+        assert [x.technique for x in results] == ["none", "dvfs", "none",
+                                                 "ptb"]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = ExperimentRunner(cache_dir=tmp_path / "s", **TINY)
+        parallel = ExperimentRunner(cache_dir=tmp_path / "p", **TINY)
+        a = serial.run_many(self.RECIPES, jobs=1)
+        b = parallel.run_many(self.RECIPES, jobs=2)
+        for x, y in zip(a, b):
+            assert x.cycles == y.cycles
+            assert x.total_energy == pytest.approx(y.total_energy)
+            assert x.aopb_energy == pytest.approx(y.aopb_energy)
+
+    def test_workers_populate_shared_disk_cache(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r.run_many(self.RECIPES, jobs=2)
+        assert len(list(tmp_path.glob("run_*.pkl"))) == 3  # deduped
+
+    def test_warm_cache_runs_nothing(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r.run_many(self.RECIPES)
+        before = r.stats["simulated"]
+        r.run_many(self.RECIPES, jobs=2)
+        assert r.stats["simulated"] == before
+
+
+class TestCacheSafety:
+    def test_atomic_publish_leaves_no_temp_files(self, tmp_path):
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r.run("swaptions", 2)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert not [n for n in names if ".tmp." in n]
+
+    def test_corrupt_entry_quarantined_and_resimulated(self, tmp_path):
+        r1 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        good = r1.run("swaptions", 2)
+        (entry,) = tmp_path.glob("run_*.pkl")
+        entry.write_bytes(b"truncated-by-a-crash")
+        r2 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        again = r2.run("swaptions", 2)
+        assert again.cycles == good.cycles
+        # The bad bytes were kept for inspection, not silently unlinked.
+        (quarantined,) = tmp_path.glob("run_*.pkl.corrupt")
+        assert quarantined.read_bytes() == b"truncated-by-a-crash"
+
+    def test_load_entry_missing_is_none(self, tmp_path):
+        assert _load_entry(tmp_path / "absent.pkl") is None
+
+    def test_store_then_load_roundtrip(self, tmp_path):
+        path = tmp_path / "x.pkl"
+        _store_entry(path, {"k": 1})
+        assert _load_entry(path) == {"k": 1}
+
+    def test_store_failure_cleans_temp(self, tmp_path):
+        path = tmp_path / "y.pkl"
+        with pytest.raises(Exception):
+            _store_entry(path, lambda: None)  # lambdas don't pickle
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_entry_lock_creates_and_releases(self, tmp_path):
+        path = tmp_path / "z.pkl"
+        with _entry_lock(path):
+            assert (tmp_path / "z.pkl.lock").exists()
+        # Re-acquirable (released, not leaked).
+        with _entry_lock(path):
+            pass
+
+    def test_entry_lock_excludes_second_process(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        path = tmp_path / "w.pkl"
+        with _entry_lock(path):
+            with (tmp_path / "w.pkl.lock").open("a") as fh:
+                with pytest.raises(OSError):
+                    fcntl.flock(fh.fileno(),
+                                fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+
+class TestDefaults:
+    def test_repro_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_repro_jobs_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_repro_jobs_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_recipe_defaults(self):
+        r = Recipe("ocean", 4)
+        assert r.technique == "none" and r.policy is None
+        assert r.relax == 0.0 and r.budget_fraction == 0.5
+        # Recipes are picklable (they cross the process-pool boundary).
+        assert pickle.loads(pickle.dumps(r)) == r
