@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -213,12 +214,36 @@ RENDERERS: Dict[str, Callable] = {
 }
 
 
+#: Version of the ``BENCH_runner.json`` entry schema.  v2 added
+#: provenance (``git_sha`` + ``schema_version``); entries written
+#: before versioning are stamped v1 on the next rewrite.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_sha() -> str:
+    """Short commit SHA of the working tree ("unknown" outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parents[3],
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
 def _emit_bench(path: Path, entry: Dict) -> None:
     """Append one wall-clock record to ``BENCH_runner.json``.
 
     The file accumulates entries across invocations (``--jobs 1`` vs
     ``--jobs 4`` runs land side by side), so speedup comparisons read
     one file.  A corrupt or legacy file is restarted, not crashed on.
+    Every entry carries provenance (schema version, git SHA, scale) so
+    bench trajectories stay comparable across PRs; pre-versioning
+    entries are stamped ``schema_version: 1`` in place.
     """
     records = []
     try:
@@ -227,10 +252,37 @@ def _emit_bench(path: Path, entry: Dict) -> None:
             records = list(loaded.get("entries", []))
     except (OSError, ValueError):
         pass
+    for legacy in records:
+        if isinstance(legacy, dict):
+            legacy.setdefault("schema_version", 1)
     records.append(entry)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps({"entries": records}, indent=2) + "\n")
     tmp.replace(path)
+
+
+def _truncation_note(runner: ExperimentRunner, name: str) -> str:
+    """Footnote naming the figure's truncated runs (empty when none).
+
+    Appended to the rendered table so a run that hit ``max_cycles``
+    (partial energy/AoPB aggregates) is never reported silently.
+    """
+    decl = ex.FIGURE_RECIPES.get(name)
+    if decl is None:
+        return ""
+    bad = runner.truncated_of(decl())
+    if not bad:
+        return ""
+    labels = [
+        f"{r.benchmark} x{r.cores} {r.technique}"
+        + (f"/{r.policy}" if r.policy else "")
+        for r in bad
+    ]
+    return (
+        f"\n\nNOTE: {len(bad)} run(s) hit max_cycles before every thread "
+        "finished; their energy/AoPB aggregates cover only the simulated "
+        "prefix: " + ", ".join(labels)
+    )
 
 
 def main(argv=None) -> int:
@@ -253,6 +305,10 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-out", default="BENCH_runner.json",
                         help="wall-clock benchmark record "
                              "(default ./BENCH_runner.json)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also run one telemetry-enabled simulation "
+                             "of the first requested figure's PTB recipe "
+                             "and write a Perfetto trace here")
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -278,7 +334,7 @@ def main(argv=None) -> int:
     t_sim = time.perf_counter() - t0
 
     for name in wanted:
-        text = RENDERERS[name](runner)
+        text = RENDERERS[name](runner) + _truncation_note(runner, name)
         if args.stdout:
             print(text)
             print()
@@ -290,6 +346,8 @@ def main(argv=None) -> int:
 
     if recipes:  # static-only renders don't benchmark the runner
         _emit_bench(Path(args.bench_out), {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "git_sha": _git_sha(),
             "jobs": runner.jobs,
             "cpu_count": os.cpu_count(),
             "scale": str(runner.scale),
@@ -302,7 +360,42 @@ def main(argv=None) -> int:
               f"simulated={runner.stats['simulated']} "
               f"(mem {runner.stats['mem_hits']} / disk "
               f"{runner.stats['disk_hits']} hits) wall={wall:.2f}s")
+
+    if args.trace:
+        _run_trace(runner, wanted, args.trace)
     return 0
+
+
+def _run_trace(runner: ExperimentRunner, wanted, path: str) -> None:
+    """Trace the first requested figure's PTB recipe to ``path``.
+
+    Traced runs bypass the result cache (a cache hit has no live event
+    stream) and the runner's stats, so the bench entry above is
+    unaffected.  Lazy import: ``repro.telemetry`` pulls this package
+    back in for its summary table.
+    """
+    from ..telemetry.cli import pick_recipe, run_traced
+    from ..telemetry.export import validate_chrome_trace, write_chrome_trace
+    from ..telemetry.summary import phase_breakdown_table
+
+    fig = next((f for f in wanted if f in ex.FIGURE_RECIPES), "fig9")
+    recipe = pick_recipe(fig)
+    sim, result = run_traced(
+        recipe.benchmark, recipe.cores, technique=recipe.technique,
+        policy=recipe.policy, budget_fraction=recipe.budget_fraction,
+        scale=str(runner.scale), max_cycles=runner.max_cycles,
+        seed=runner.seed,
+    )
+    trace = write_chrome_trace(sim.telemetry, path)
+    problems = validate_chrome_trace(trace)
+    for p in problems:
+        print(f"[trace] schema: {p}", file=sys.stderr)
+    print(f"[trace] {fig}: {recipe.benchmark} x{recipe.cores} "
+          f"{recipe.technique}"
+          + (f"/{recipe.policy}" if recipe.policy else "")
+          + f" -> {path} ({result.cycles} cycles, "
+          f"{sim.telemetry.bus.total_events} events)")
+    print(phase_breakdown_table(sim.telemetry))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -359,6 +359,25 @@ class ExperimentRunner:
         """The uncontrolled run all normalizations divide by."""
         return self.run(benchmark, cores, technique="none")
 
+    def truncated_of(self, recipes: Iterable[Recipe]) -> List[Recipe]:
+        """Already-memoised recipes whose runs hit ``max_cycles``.
+
+        Memo-only (no simulation, no stats side effects): intended for
+        report footnotes after the figures' recipes have been run.
+        """
+        out: List[Recipe] = []
+        seen: set = set()
+        for recipe in recipes:
+            recipe = Recipe(*recipe)
+            key = _cache_key(recipe, self.scale, self.max_cycles, self.seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            result = self._mem.get(key)
+            if result is not None and result.truncated:
+                out.append(recipe)
+        return out
+
     # -- convenience sweeps -------------------------------------------------------
 
     def sweep(

@@ -57,6 +57,8 @@ class BudgetController:
         #: with granted/pledged tokens while conserving the global sum.
         self.budget_lines: List[Watts] = [self.local_budget] * n
         self.throttled_cycles = 0
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     def begin_cycle(self, now: int) -> None:  # pragma: no cover - trivial
         pass
@@ -153,6 +155,8 @@ class LocalBudgetController(BudgetController):
                 )
                 if th.technique != Technique.NONE:
                     self.throttled_cycles += 1
+                if self._telemetry is not None:
+                    self._telemetry.on_throttle(i, int(th.technique))
             if not self.execute[i]:
                 self.throttled_cycles += 0  # f-skips tracked by DVFS itself
 

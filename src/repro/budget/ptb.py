@@ -41,7 +41,7 @@ class PTBLoadBalancer:
     """The centralized token redistribution logic (pure, unit-testable)."""
 
     __slots__ = ("num_cores", "latency", "_pipe", "granted_total",
-                 "_sanitizer")
+                 "_sanitizer", "_telemetry")
 
     def __init__(self, num_cores: int, latency: int) -> None:
         if num_cores <= 0:
@@ -55,6 +55,8 @@ class PTBLoadBalancer:
         self.granted_total = 0
         #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
         self._sanitizer = None
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     @staticmethod
     def distribute(
@@ -130,13 +132,17 @@ class PTBLoadBalancer:
         """
         self._pipe.append((list(spares), list(overs), list(priority or ())))
         if len(self._pipe) <= self.latency:
-            return [0] * self.num_cores
-        old_spares, old_overs, old_priority = self._pipe.popleft()
-        pool = sum(old_spares)
-        grants = self.distribute(pool, old_overs, policy, old_priority)
-        if self._sanitizer is not None:
-            self._sanitizer.check_distribution(pool, grants)
-        self.granted_total += sum(grants)
+            grants = [0] * self.num_cores
+        else:
+            old_spares, old_overs, old_priority = self._pipe.popleft()
+            pool = sum(old_spares)
+            grants = self.distribute(pool, old_overs, policy, old_priority)
+            if self._sanitizer is not None:
+                self._sanitizer.check_distribution(pool, grants)
+            self.granted_total += sum(grants)
+        if self._telemetry is not None:
+            # Pledges are stamped at ingestion, grants at delivery.
+            self._telemetry.on_balancer(spares, grants)
         return grants
 
     def pending_pledge(self, core: int) -> Tokens:
@@ -334,6 +340,8 @@ class PTBController(LocalBudgetController):
             else:
                 th.set(Technique.NONE)
             th.tick()
+            if self._telemetry is not None:
+                self._telemetry.on_throttle(i, int(th.technique))
             self.fetch_allowed[i] = th.fetch_allowed
             self.issue_width[i] = (
                 th.issue_width(self.cfg.core.issue_width)

@@ -278,6 +278,10 @@ class CMPConfig:
     #: Run the :mod:`repro.simcheck` invariant sanitizers during
     #: simulation (also enabled by the ``REPRO_SANITIZE=1`` env var).
     sanitize: bool = False
+    #: Record :mod:`repro.telemetry` events/metrics during simulation
+    #: (also enabled by the ``REPRO_TELEMETRY=1`` env var).  Off by
+    #: default: probes are ``None`` and cost one attribute test.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -299,6 +303,10 @@ class CMPConfig:
     def with_ptb(self, **kwargs) -> "CMPConfig":
         """Return a copy with PTB parameters overridden."""
         return replace(self, ptb=replace(self.ptb, **kwargs))
+
+    def with_telemetry(self, enabled: bool = True) -> "CMPConfig":
+        """Return a copy with telemetry recording switched on/off."""
+        return replace(self, telemetry=enabled)
 
     def describe(self) -> str:
         """Render the configuration as a Table 1-style text table."""

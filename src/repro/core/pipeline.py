@@ -141,6 +141,8 @@ class Core:
 
         #: Optional :class:`repro.simcheck.PipelineSanitizer` hook.
         self._sanitizer = None
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     # ------------------------------------------------------------------ #
     # public per-cycle entry points                                      #
@@ -196,6 +198,8 @@ class Core:
                 self._inject_sync(now, _KIND_ATOMIC,
                                   self.sync.lock(self._sync_obj).addr)
                 self._sync_state = _SyncState.ACQ_RETRY
+                if self._telemetry is not None:
+                    self._telemetry.on_spin(self.core_id, False, "lock")
             else:
                 # A fetch-gated spinner stops issuing its spin loop (the
                 # spin-gating extension); it still observes the grant.
@@ -211,6 +215,8 @@ class Core:
             ):
                 self._sync_state = _SyncState.NONE
                 self.sync_phase = SyncPhase.BUSY
+                if self._telemetry is not None:
+                    self._telemetry.on_spin(self.core_id, False, "barrier")
             else:
                 if fetch_allowed:
                     self._spin_fetch(
@@ -455,6 +461,8 @@ class Core:
             else:
                 self._sync_state = _SyncState.ACQ_SPIN
                 self._spin_next = now + 1
+                if self._telemetry is not None:
+                    self._telemetry.on_spin(self.core_id, True, "lock")
         elif st == _SyncState.ACQ_RETRY:
             # Ownership was transferred by ``lock_granted``; the winning
             # test&set has now committed.
@@ -475,6 +483,8 @@ class Core:
             else:
                 self._sync_state = _SyncState.BAR_SPIN
                 self._spin_next = now + 1
+                if self._telemetry is not None:
+                    self._telemetry.on_spin(self.core_id, True, "barrier")
         elif st == _SyncState.BAR_FLIP:
             self._sync_state = _SyncState.NONE
             self.sync_phase = SyncPhase.BUSY

@@ -95,6 +95,8 @@ class Directory:
         #: Optional :class:`repro.simcheck.CoherenceSanitizer` hook —
         #: when set, every transaction re-validates the touched line.
         self._sanitizer = None
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     # -- helpers ---------------------------------------------------------
 
@@ -153,6 +155,8 @@ class Directory:
             self.cache_to_cache += 1
             if self._sanitizer is not None:
                 self._sanitizer.check_line(core, line)
+            if self._telemetry is not None:
+                self._telemetry.on_moesi("GetS", core, line, lat)
             return CoherenceResult(lat, hops, 0, True)
 
         if entry.sharers - {core}:
@@ -166,6 +170,8 @@ class Directory:
             self.cache_to_cache += 1
             if self._sanitizer is not None:
                 self._sanitizer.check_line(core, line)
+            if self._telemetry is not None:
+                self._telemetry.on_moesi("GetS", core, line, lat)
             return CoherenceResult(lat, hops, 0, True)
 
         # Uncached anywhere else: fetch from memory, grant E.
@@ -179,6 +185,8 @@ class Directory:
         self.memory_fetches += 1
         if self._sanitizer is not None:
             self._sanitizer.check_line(core, line)
+        if self._telemetry is not None:
+            self._telemetry.on_moesi("GetS", core, line, lat)
         return CoherenceResult(lat, hops, 0, False)
 
     def write_miss(self, core: int, line: int) -> CoherenceResult:
@@ -234,6 +242,8 @@ class Directory:
         self._set_state(core, line, State.M)
         if self._sanitizer is not None:
             self._sanitizer.check_line(core, line)
+        if self._telemetry is not None:
+            self._telemetry.on_moesi("GetM", core, line, lat)
         return CoherenceResult(lat, hops, invals, from_cache)
 
     def evict(self, core: int, line: int) -> bool:
@@ -258,6 +268,9 @@ class Directory:
             del self._entries[line]
         if self._sanitizer is not None:
             self._sanitizer.check_line(core, line)
+        if self._telemetry is not None:
+            self._telemetry.on_moesi("Evict", core, line,
+                                     1 if wrote_back else 0)
         return wrote_back
 
     # -- invariants (exercised by the property-based tests) ---------------

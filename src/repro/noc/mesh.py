@@ -45,6 +45,8 @@ class Mesh2D:
         self.messages = 0
         #: Optional :class:`repro.simcheck.NoCProgressSanitizer` hook.
         self._sanitizer = None
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     @staticmethod
     def _dims(n: int) -> Tuple[int, int]:
@@ -103,4 +105,6 @@ class Mesh2D:
         self.messages += 1
         if self._sanitizer is not None:
             self._sanitizer.on_inject(hops, flits)
+        if self._telemetry is not None:
+            self._telemetry.on_mesh(hops, flits, fh)
         return fh

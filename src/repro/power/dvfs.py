@@ -29,6 +29,7 @@ class DVFSController:
     __slots__ = (
         "cfg", "modes", "mode", "target_mode", "_window_energy",
         "_window_left", "_transition_left", "transitions", "f_credit",
+        "_telemetry", "_core_id",
     )
 
     def __init__(self, cfg: DVFSConfig, dfs: bool = False) -> None:
@@ -46,6 +47,10 @@ class DVFSController:
         self._transition_left = 0
         self.transitions = 0
         self.f_credit = 0.0
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook; the
+        #: session stamps ``_core_id`` when it attaches.
+        self._telemetry = None
+        self._core_id = -1
 
     # -- state queries -----------------------------------------------------
 
@@ -116,6 +121,8 @@ class DVFSController:
             self._transition_left = steps * self.cfg.transition_cycles_per_step
             self.target_mode = target
             self.transitions += 1
+            if self._telemetry is not None:
+                self._telemetry.on_dvfs(self._core_id, self.mode, target)
 
     def force_mode(self, mode: int) -> None:
         """Jump to a mode instantly (used by tests and warm starts)."""

@@ -97,7 +97,8 @@ class TokenAccountant:
     """
 
     __slots__ = ("token_map", "ptht", "consumed", "predicted",
-                 "total_consumed", "_cycle_base", "_cycle_pred")
+                 "total_consumed", "_cycle_base", "_cycle_pred",
+                 "_telemetry")
 
     def __init__(self, token_map: TokenClassMap, ptht_entries: int) -> None:
         self.token_map = token_map
@@ -107,6 +108,8 @@ class TokenAccountant:
         self.total_consumed: Tokens = 0
         self._cycle_base: Tokens = 0
         self._cycle_pred: Tokens = 0
+        #: Optional per-core cost :class:`repro.telemetry.Histogram`.
+        self._telemetry = None
 
     def begin_cycle(self, rob_occupancy: int) -> None:
         self._cycle_base = rob_occupancy  # residency component
@@ -129,6 +132,8 @@ class TokenAccountant:
         """Record an instruction's final cost in the PTHT at commit."""
         total = base_tokens + residency_tokens(rob_cycles)
         self.ptht.update(pc, total)
+        if self._telemetry is not None:
+            self._telemetry.observe(total)
         return total
 
     def end_cycle(self) -> Tokens:

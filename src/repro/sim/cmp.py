@@ -8,6 +8,7 @@ cycle-level mechanism) be modelled faithfully.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -22,6 +23,7 @@ from ..power.model import CycleEvents, EnergyModel
 from ..power.thermal import ThermalModel
 from ..simcheck.sanitizers import SanitizerSuite, sanitize_enabled
 from ..sync.primitives import SyncDomain
+from ..telemetry.session import TelemetrySession, telemetry_enabled
 from ..trace.generator import ThreadTraceGenerator
 from ..trace.phases import ParallelProgram
 from ..units import Watts
@@ -95,6 +97,12 @@ class CMPSimulator:
         if sanitize_enabled(cfg):
             self.sanitizers = SanitizerSuite(cfg)
             self.sanitizers.attach(self)
+
+        #: Telemetry session (None = off; probes cost one `is None` test).
+        self.telemetry: Optional[TelemetrySession] = None
+        if telemetry_enabled(cfg):
+            self.telemetry = TelemetrySession(cfg)
+            self.telemetry.attach(self)
 
     def _prewarm_caches(self) -> None:
         """Preload each core's L2 with its program's working set.
@@ -171,12 +179,15 @@ class CMPSimulator:
         cycle_power = energy.cycle_power
         temps = thermal.temps
         sanitizers = self.sanitizers
+        telemetry = self.telemetry
 
         cycle = 0
         done_count = 0
         while cycle < max_cycles and done_count < n:
             if sanitizers is not None:
                 sanitizers.on_cycle(cycle)
+            if telemetry is not None:
+                telemetry.begin_cycle(cycle)
             controller.begin_cycle(cycle)
             total = 0.0
             done_count = 0
@@ -221,6 +232,11 @@ class CMPSimulator:
             if total > max_power:
                 max_power = total
             thermal.add_cycle(powers)
+            if telemetry is not None:
+                # Same smoothed/budget_lines values the AoPB just used,
+                # observed before the controller reacts to this cycle.
+                telemetry.sample_cycle(powers, smoothed, budget_lines,
+                                       total, total_s)
             controller.end_cycle(cycle, tokens, smoothed, sync_domain)
             if trace is not None:
                 trace.append(total)
@@ -231,6 +247,21 @@ class CMPSimulator:
         committed = sum(c.committed for c in cores)
         ptht_hits = sum(c.accountant.ptht.hits for c in cores)
         ptht_total = ptht_hits + sum(c.accountant.ptht.misses for c in cores)
+
+        truncated = done_count < n
+        if truncated:
+            if telemetry is not None:
+                telemetry.on_truncated(cycle)
+            warnings.warn(
+                f"{self.program.name} x{n} ({self.technique}): simulation "
+                f"truncated at max_cycles={max_cycles} with "
+                f"{n - done_count} thread(s) unfinished; energy/AoPB "
+                "aggregates cover the simulated prefix only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if telemetry is not None:
+            telemetry.finish(cycle, committed)
 
         return SimResult(
             benchmark=self.program.name,
@@ -256,6 +287,7 @@ class CMPSimulator:
             core_power_traces=(
                 np.asarray(core_traces) if core_traces is not None else None
             ),
+            truncated=truncated,
         )
 
 

@@ -49,6 +49,16 @@ class SimResult:
 
     extra: Dict[str, float] = field(default_factory=dict)
 
+    #: The run hit ``max_cycles`` before every thread finished, so the
+    #: energy/AoPB aggregates cover only the simulated prefix.
+    truncated: bool = False
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Cache entries pickled before `truncated` existed lack the
+        # field; derive it from `completed` (its exact complement).
+        state.setdefault("truncated", not state.get("completed", True))
+        self.__dict__.update(state)
+
     # -- derived metrics ------------------------------------------------------
 
     @property

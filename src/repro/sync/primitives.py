@@ -95,6 +95,8 @@ class SyncDomain:
         self.mesh = mesh
         self.locks: Dict[int, SpinLock] = {}
         self.barriers: Dict[int, Barrier] = {}
+        #: Optional :class:`repro.telemetry.TelemetrySession` hook.
+        self._telemetry = None
 
     # -- object lookup -------------------------------------------------------
 
@@ -123,10 +125,14 @@ class SyncDomain:
         if lk.owner is None and not lk.waiters and not lk.grant_at:
             lk.owner = core
             lk.acquires += 1
+            if self._telemetry is not None:
+                self._telemetry.on_lock("acquire", lock_id, core)
             return True
         if core not in lk.waiters and lk.owner != core:
             lk.waiters.append(core)
             lk.contended_acquires += 1
+            if self._telemetry is not None:
+                self._telemetry.on_lock("contend", lock_id, core)
         return False
 
     def lock_granted(self, lock_id: int, core: int, now: int) -> bool:
@@ -137,6 +143,8 @@ class SyncDomain:
             del lk.grant_at[core]
             lk.owner = core
             lk.acquires += 1
+            if self._telemetry is not None:
+                self._telemetry.on_lock("handoff", lock_id, core)
             return True
         return False
 
@@ -148,6 +156,8 @@ class SyncDomain:
                 f"core {core} releasing lock {lock_id} owned by {lk.owner}"
             )
         lk.owner = None
+        if self._telemetry is not None:
+            self._telemetry.on_lock("release", lock_id, core)
         if lk.waiters:
             winner = lk.waiters.popleft()
             # Hand-off: the spinner's re-read misses, the directory
@@ -164,6 +174,8 @@ class SyncDomain:
         b = self.barrier(barrier_id)
         b.arrived += 1
         b.waiting.add(core)
+        if self._telemetry is not None:
+            self._telemetry.on_barrier("arrive", barrier_id, core)
         if b.arrived >= b.num_threads:
             # Last thread flips the sense; everyone else wakes after the
             # invalidation + refetch reaches them.
@@ -172,6 +184,8 @@ class SyncDomain:
             b.waiting.clear()
             b.generation += 1
             b.episodes += 1
+            if self._telemetry is not None:
+                self._telemetry.on_barrier("release", barrier_id, core)
             return True
         return False
 

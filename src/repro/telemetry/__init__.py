@@ -1,0 +1,57 @@
+"""Observability for the simulator: events, metrics, trace export.
+
+See DESIGN §8 for the event taxonomy and the zero-cost-when-disabled
+probe contract.  Enable with ``CMPConfig(telemetry=True)`` or
+``REPRO_TELEMETRY=1``; drive from the command line with
+``python -m repro.telemetry run``.
+"""
+
+from .events import Event, EventBus, EventKind, RingBuffer
+from .export import (
+    build_chrome_trace,
+    load_power_timeline,
+    peak_power,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+    write_power_timeline,
+)
+from .metrics import (
+    CYCLE_BUCKETS,
+    LATENCY_BUCKETS,
+    TOKEN_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .session import TELEMETRY_PHASES, TelemetrySession, telemetry_enabled
+from .summary import phase_breakdown_table, summarize
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventKind",
+    "RingBuffer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CYCLE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "TOKEN_BUCKETS",
+    "TelemetrySession",
+    "TELEMETRY_PHASES",
+    "telemetry_enabled",
+    "build_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_power_timeline",
+    "load_power_timeline",
+    "peak_power",
+    "phase_breakdown_table",
+    "summarize",
+]

@@ -1,0 +1,181 @@
+"""``python -m repro.telemetry`` — trace one run, validate traces.
+
+``run`` simulates one recipe with telemetry enabled (always uncached —
+a cache hit would have no live event stream) and writes any of the
+exporter outputs::
+
+    python -m repro.telemetry run --figure fig9 --scale tiny \
+        --out trace.json --metrics metrics.json --timeline power.ndjson
+
+``validate`` re-checks a written trace against the Chrome
+``trace_event`` schema (the CI gate)::
+
+    python -m repro.telemetry validate trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..config import CMPConfig
+from ..workloads import build_program
+from .export import (
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+    write_power_timeline,
+)
+from .summary import summarize
+
+__all__ = ["main", "build_parser", "pick_recipe", "run_traced"]
+
+
+def pick_recipe(figure: str):
+    """The figure's first PTB recipe (or first recipe, for non-PTB
+    figures) — the run whose token flow the figure is about."""
+    from ..analysis.experiments import FIGURE_RECIPES
+
+    decl = FIGURE_RECIPES.get(figure)
+    if decl is None:
+        raise SystemExit(
+            f"unknown figure {figure!r}; available: "
+            f"{', '.join(sorted(FIGURE_RECIPES))}"
+        )
+    recipes = decl()
+    for recipe in recipes:
+        if recipe.technique == "ptb":
+            return recipe
+    return recipes[0]
+
+
+def run_traced(
+    benchmark: str,
+    cores: int,
+    technique: str = "ptb",
+    policy: Optional[str] = "toall",
+    budget_fraction: Optional[float] = 0.5,
+    scale: str = "tiny",
+    max_cycles: int = 400_000,
+    seed: int = 2011,
+):
+    """Build and run one telemetry-enabled simulation.
+
+    Returns ``(sim, result)``; the session is ``sim.telemetry``.
+    """
+    from ..sim.cmp import CMPSimulator
+
+    cfg = CMPConfig(num_cores=cores).with_telemetry()
+    program = build_program(benchmark, cores, scale=scale, seed=seed)
+    sim = CMPSimulator(
+        cfg, program, technique=technique,
+        budget_fraction=budget_fraction, ptb_policy=policy, seed=seed,
+    )
+    result = sim.run(max_cycles)
+    return sim, result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Trace a simulation run; validate written traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one recipe with telemetry")
+    run.add_argument("--figure", default="fig9",
+                     help="figure whose first PTB recipe to trace")
+    run.add_argument("--benchmark", help="override the recipe's benchmark")
+    run.add_argument("--cores", type=int, help="override the core count")
+    run.add_argument("--technique", help="override the technique")
+    run.add_argument("--policy", help="override the PTB policy")
+    run.add_argument("--scale", default="tiny",
+                     help="workload scale (default tiny)")
+    run.add_argument("--max-cycles", type=int, default=400_000)
+    run.add_argument("--seed", type=int, default=2011)
+    run.add_argument("--out", help="write Chrome/Perfetto trace JSON here")
+    run.add_argument("--metrics", help="write metrics JSON here")
+    run.add_argument("--metrics-csv", help="write flat metrics CSV here")
+    run.add_argument("--timeline",
+                     help="write per-cycle power NDJSON here")
+    run.add_argument("--include-micro", action="store_true",
+                     help="include MOESI/mesh micro-events in the trace")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the summary table")
+
+    val = sub.add_parser("validate",
+                         help="check a trace file against the schema")
+    val.add_argument("trace", help="path to a trace_event JSON file")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    recipe = pick_recipe(args.figure)
+    benchmark = args.benchmark or recipe.benchmark
+    cores = args.cores if args.cores is not None else recipe.cores
+    technique = args.technique or recipe.technique
+    policy = args.policy if args.policy is not None else recipe.policy
+    sim, result = run_traced(
+        benchmark, cores, technique=technique, policy=policy,
+        budget_fraction=recipe.budget_fraction, scale=args.scale,
+        max_cycles=args.max_cycles, seed=args.seed,
+    )
+    session = sim.telemetry
+    if session is None:  # pragma: no cover - run_traced always enables
+        raise SystemExit("simulator did not record telemetry")
+    wrote: List[str] = []
+    if args.out:
+        trace = write_chrome_trace(session, args.out,
+                                   include_micro=args.include_micro)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for p in problems:
+                print(f"schema: {p}", file=sys.stderr)
+            return 1
+        wrote.append(args.out)
+    if args.metrics:
+        write_metrics_json(session, args.metrics)
+        wrote.append(args.metrics)
+    if args.metrics_csv:
+        write_metrics_csv(session.metrics, args.metrics_csv)
+        wrote.append(args.metrics_csv)
+    if args.timeline:
+        write_power_timeline(session, args.timeline)
+        wrote.append(args.timeline)
+    if not args.quiet:
+        print(
+            f"{benchmark} x{cores} {technique}"
+            + (f"/{policy}" if policy else "")
+            + f" @ {args.scale}: {result.cycles} cycles"
+        )
+        print(summarize(session, result))
+    for path in wrote:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.trace) as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for p in problems:
+            print(f"{args.trace}: {p}", file=sys.stderr)
+        return 1
+    events = len(trace.get("traceEvents", []))
+    print(f"{args.trace}: OK ({events} trace events)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_validate(args)

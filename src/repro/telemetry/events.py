@@ -1,0 +1,217 @@
+"""Typed simulator events, the ring buffer, and the event bus.
+
+The telemetry subsystem observes the simulator through *events*: small,
+typed, timestamped records published by probe call-sites scattered
+through every layer (tokens, budget, DVFS, coherence, NoC, sync,
+pipeline).  Publishing is designed to be cheap enough to leave wired in
+permanently:
+
+* an event is one :class:`Event` named tuple (no dicts, no kwargs on
+  the hot path);
+* storage is a fixed-capacity :class:`RingBuffer` per event kind, so a
+  chatty kind (MOESI transitions, mesh messages) can never evict the
+  rare control-plane events (token grants, DVFS transitions) a trace
+  reader actually navigates by;
+* when the buffer wraps, the oldest events are dropped and counted —
+  telemetry degrades by forgetting history, never by stopping the run.
+
+When telemetry is disabled (the default) none of this is constructed:
+probe sites hold ``_telemetry = None`` and reduce to one ``is not
+None`` test on a pre-loaded local, mirroring the
+:mod:`repro.simcheck.sanitizers` zero-cost contract.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional
+
+__all__ = ["EventKind", "Event", "RingBuffer", "EventBus"]
+
+
+class EventKind(IntEnum):
+    """The event taxonomy (see DESIGN §8)."""
+
+    #: A core reported spare tokens to the PTB balancer (value = tokens).
+    TOKEN_PLEDGE = 0
+    #: The balancer delivered tokens to a core (value = tokens).
+    TOKEN_GRANT = 1
+    #: A core's smoothed power rose above its budget line (value = power).
+    BUDGET_ENTER = 2
+    #: ... and fell back under it (value = power).
+    BUDGET_EXIT = 3
+    #: The whole CMP crossed the global budget (value = total power).
+    GLOBAL_BUDGET_ENTER = 4
+    GLOBAL_BUDGET_EXIT = 5
+    #: A DVFS controller started a mode transition (value = target mode,
+    #: detail = "old->new").
+    DVFS_MODE = 6
+    #: A core's level-2 throttle changed (value = Technique int).
+    THROTTLE = 7
+    #: A MOESI directory transaction (detail = GetS/GetM/Evict,
+    #: value = latency in cycles).
+    MOESI = 8
+    #: A message entered the mesh (value = flit-hops).
+    MESH_MSG = 9
+    #: A core started busy-waiting (detail = "lock"/"barrier").
+    SPIN_ENTER = 10
+    SPIN_EXIT = 11
+    #: Lock protocol: acquire/contend/handoff/release (value = lock id).
+    LOCK_ACQUIRE = 12
+    LOCK_CONTEND = 13
+    LOCK_HANDOFF = 14
+    LOCK_RELEASE = 15
+    #: Barrier protocol (value = barrier id).
+    BARRIER_ARRIVE = 16
+    BARRIER_RELEASE = 17
+    #: Periodic ROB occupancy sample (value = occupancy).
+    ROB_SAMPLE = 18
+    #: The run hit ``max_cycles`` before every thread completed.
+    TRUNCATED = 19
+
+
+class Event(NamedTuple):
+    """One timestamped simulator event.
+
+    ``core`` is -1 for CMP-global events (the balancer, global budget
+    crossings, truncation).  ``value`` carries the kind-specific number
+    (tokens, power, latency...); ``detail`` an optional short string.
+    """
+
+    cycle: int
+    kind: EventKind
+    core: int
+    value: float
+    detail: Optional[str]
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO that drops (and counts) the oldest entries.
+
+    Append is O(1) with no allocation once full; iteration yields the
+    retained entries oldest-first.
+    """
+
+    __slots__ = ("capacity", "_buf", "_head", "_n", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buf: List[Optional[Event]] = [None] * capacity
+        self._head = 0          # index of the oldest retained entry
+        self._n = 0             # retained entries
+        self.dropped = 0        # evicted-by-wraparound count
+
+    def append(self, item) -> None:
+        cap = self.capacity
+        if self._n < cap:
+            self._buf[(self._head + self._n) % cap] = item
+            self._n += 1
+        else:
+            self._buf[self._head] = item
+            self._head = (self._head + 1) % cap
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator:
+        buf, cap, head = self._buf, self.capacity, self._head
+        for i in range(self._n):
+            yield buf[(head + i) % cap]
+
+    def clear(self) -> None:
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._n = 0
+        self.dropped = 0
+
+
+#: Default per-kind ring capacity.
+DEFAULT_CAPACITY = 1 << 16
+
+#: Kind-specific capacities: control-plane events are rare but precious
+#: (trace checks sum them), micro-events are plentiful but individually
+#: disposable.
+KIND_CAPACITIES: Dict[EventKind, int] = {
+    EventKind.TOKEN_PLEDGE: 1 << 19,
+    EventKind.TOKEN_GRANT: 1 << 19,
+    EventKind.MOESI: 1 << 14,
+    EventKind.MESH_MSG: 1 << 14,
+    EventKind.ROB_SAMPLE: 1 << 15,
+}
+
+
+class EventBus:
+    """Per-kind ring buffers plus whole-run event counters.
+
+    ``emit`` appends to the kind's ring and bumps its counter; the
+    counters are never truncated, so aggregate checks (e.g. "granted
+    tokens sum to the balancer's deliveries") stay exact even after the
+    rings wrap.  Subscribers — rarely used; the exporters read the rings
+    post-run — receive every event of their kind synchronously.
+    """
+
+    def __init__(
+        self,
+        default_capacity: int = DEFAULT_CAPACITY,
+        capacities: Optional[Dict[EventKind, int]] = None,
+    ) -> None:
+        caps = dict(KIND_CAPACITIES)
+        if capacities:
+            caps.update(capacities)
+        self._rings: Dict[EventKind, RingBuffer] = {
+            kind: RingBuffer(caps.get(kind, default_capacity))
+            for kind in EventKind
+        }
+        self.counts: Dict[EventKind, int] = {kind: 0 for kind in EventKind}
+        #: Sum of ``value`` per kind (exact for integer-valued kinds).
+        self.value_sums: Dict[EventKind, float] = {
+            kind: 0.0 for kind in EventKind
+        }
+        self._subscribers: Dict[EventKind, List[Callable[[Event], None]]] = {}
+
+    def emit(
+        self,
+        cycle: int,
+        kind: EventKind,
+        core: int = -1,
+        value: float = 0.0,
+        detail: Optional[str] = None,
+    ) -> None:
+        ev = Event(cycle, kind, core, value, detail)
+        self._rings[kind].append(ev)
+        self.counts[kind] += 1
+        self.value_sums[kind] += value
+        subs = self._subscribers.get(kind)
+        if subs:
+            for fn in subs:
+                fn(ev)
+
+    def subscribe(self, kind: EventKind, fn: Callable[[Event], None]) -> None:
+        self._subscribers.setdefault(kind, []).append(fn)
+
+    def ring(self, kind: EventKind) -> RingBuffer:
+        return self._rings[kind]
+
+    def dropped(self, kind: EventKind) -> int:
+        return self._rings[kind].dropped
+
+    def events(self, *kinds: EventKind) -> Iterator[Event]:
+        """Retained events of ``kinds`` (all kinds if empty), in cycle
+        order (stable across kinds: ties broken by kind, then core)."""
+        wanted = kinds if kinds else tuple(EventKind)
+        merged: List[Event] = []
+        for kind in wanted:
+            merged.extend(self._rings[kind])
+        merged.sort(key=lambda e: (e.cycle, e.kind, e.core))
+        return iter(merged)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(r.dropped for r in self._rings.values())

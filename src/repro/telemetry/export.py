@@ -1,0 +1,307 @@
+"""Exporters: Chrome/Perfetto traces, CSV/JSON metrics, power NDJSON.
+
+Three consumers, three formats:
+
+* **Perfetto / chrome://tracing** — ``build_chrome_trace`` renders the
+  event bus as Chrome ``trace_event`` JSON (the legacy JSON format both
+  UIs load directly): one thread track per core, one for the PTB
+  balancer, counter tracks for power and ROB occupancy.  Cycle
+  timestamps become microseconds via ``TechConfig.cycle_time_ns``.
+* **Spreadsheets / diffing** — ``write_metrics_csv`` /
+  ``write_metrics_json`` flatten the :class:`~repro.telemetry.metrics.
+  MetricsRegistry`.
+* **repro.analysis** — ``write_power_timeline`` emits one NDJSON row
+  per sampled cycle (total, smoothed total, per-core watts);
+  ``load_power_timeline`` reads it back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Optional
+
+from ..units import Watts
+from .events import Event, EventKind
+
+__all__ = [
+    "build_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_power_timeline",
+    "load_power_timeline",
+    "peak_power",
+]
+
+#: pid shared by every track of one simulated CMP.
+_PID = 0
+
+#: Event kinds rendered as paired duration slices ("B"/"E") on a core
+#: track: (begin kind, end kind, slice name).
+_SPANS = (
+    (EventKind.SPIN_ENTER, EventKind.SPIN_EXIT, "spin"),
+    (EventKind.BUDGET_ENTER, EventKind.BUDGET_EXIT, "over-budget"),
+)
+
+#: Instant-event kinds drawn on the emitting core's track.
+_CORE_INSTANTS = {
+    EventKind.DVFS_MODE: "dvfs",
+    EventKind.THROTTLE: "throttle",
+    EventKind.LOCK_ACQUIRE: "lock.acquire",
+    EventKind.LOCK_CONTEND: "lock.contend",
+    EventKind.LOCK_HANDOFF: "lock.handoff",
+    EventKind.LOCK_RELEASE: "lock.release",
+    EventKind.BARRIER_ARRIVE: "barrier.arrive",
+    EventKind.BARRIER_RELEASE: "barrier.release",
+}
+
+#: High-volume micro-architecture kinds, included only on request.
+_MICRO_INSTANTS = {
+    EventKind.MOESI: "moesi",
+    EventKind.MESH_MSG: "mesh",
+}
+
+
+def build_chrome_trace(session, include_micro: bool = False) -> Dict:
+    """Render ``session`` as a Chrome ``trace_event`` JSON object."""
+    cfg = session.cfg
+    ns_per_cycle = cfg.tech.cycle_time_ns
+
+    def ts(cycle: int) -> float:
+        return cycle * ns_per_cycle / 1000.0  # µs
+
+    n = session.num_cores
+    balancer_tid = n
+    events: List[Dict] = []
+
+    def meta(kind: str, tid: Optional[int] = None, **args) -> None:
+        ev: Dict = {"name": kind, "ph": "M", "pid": _PID, "args": args}
+        if tid is not None:
+            ev["tid"] = tid
+        events.append(ev)
+
+    meta("process_name",
+         name=f"repro CMP ({n} cores @ {cfg.tech.frequency_mhz} MHz)")
+    for i in range(n):
+        meta("thread_name", tid=i, name=f"core {i}")
+        meta("thread_sort_index", tid=i, sort_index=i)
+    meta("thread_name", tid=balancer_tid, name="PTB balancer")
+    meta("thread_sort_index", tid=balancer_tid, sort_index=n)
+
+    body: List[Dict] = []
+    bus = session.bus
+
+    # Duration slices: pair each ENTER with the core's next EXIT.  An
+    # unclosed slice at end-of-run is closed at the last known cycle so
+    # the B/E stacks stay balanced (Perfetto rejects dangling begins).
+    end_ts = ts(session.now + 1)
+    for begin_kind, end_kind, name in _SPANS:
+        open_ev: Dict[int, Event] = {}
+        for ev in bus.events(begin_kind, end_kind):
+            if ev.kind == begin_kind:
+                open_ev[ev.core] = ev
+            else:
+                start = open_ev.pop(ev.core, None)
+                if start is None:
+                    continue  # begin was evicted by ring wraparound
+                slice_name = (f"{name}:{start.detail}" if start.detail
+                              else name)
+                body.append({"name": slice_name, "ph": "B", "pid": _PID,
+                             "tid": ev.core, "ts": ts(start.cycle),
+                             "args": {"value": start.value}})
+                body.append({"name": slice_name, "ph": "E", "pid": _PID,
+                             "tid": ev.core, "ts": ts(ev.cycle)})
+        for core, start in sorted(open_ev.items()):
+            slice_name = (f"{name}:{start.detail}" if start.detail
+                          else name)
+            body.append({"name": slice_name, "ph": "B", "pid": _PID,
+                         "tid": core, "ts": ts(start.cycle),
+                         "args": {"value": start.value}})
+            body.append({"name": slice_name, "ph": "E", "pid": _PID,
+                         "tid": core, "ts": end_ts})
+
+    # Token flow on the balancer track.
+    for ev in bus.events(EventKind.TOKEN_PLEDGE, EventKind.TOKEN_GRANT):
+        name = ("token.pledge" if ev.kind == EventKind.TOKEN_PLEDGE
+                else "token.grant")
+        body.append({"name": name, "ph": "i", "pid": _PID,
+                     "tid": balancer_tid, "ts": ts(ev.cycle), "s": "t",
+                     "args": {"core": ev.core, "tokens": ev.value}})
+
+    # Global budget crossings + truncation, also on the balancer track.
+    for ev in bus.events(EventKind.GLOBAL_BUDGET_ENTER,
+                         EventKind.GLOBAL_BUDGET_EXIT,
+                         EventKind.TRUNCATED):
+        name = {
+            EventKind.GLOBAL_BUDGET_ENTER: "global.over_budget",
+            EventKind.GLOBAL_BUDGET_EXIT: "global.under_budget",
+            EventKind.TRUNCATED: "TRUNCATED",
+        }[ev.kind]
+        body.append({"name": name, "ph": "i", "pid": _PID,
+                     "tid": balancer_tid, "ts": ts(ev.cycle), "s": "p",
+                     "args": {"value": ev.value}})
+
+    instants = dict(_CORE_INSTANTS)
+    if include_micro:
+        instants.update(_MICRO_INSTANTS)
+    for kind, name in instants.items():
+        for ev in bus.events(kind):
+            tid = ev.core if ev.core >= 0 else balancer_tid
+            args: Dict = {"value": ev.value}
+            if ev.detail:
+                args["detail"] = ev.detail
+            body.append({"name": name, "ph": "i", "pid": _PID, "tid": tid,
+                         "ts": ts(ev.cycle), "s": "t", "args": args})
+
+    # Counter tracks: per-core + total power from the timeline, ROB
+    # occupancy from the periodic samples.
+    for cycle, total, smoothed, powers in session.timeline:
+        t = ts(cycle)
+        body.append({"name": "power (W)", "ph": "C", "pid": _PID, "ts": t,
+                     "args": {f"core{i}": p for i, p in enumerate(powers)}})
+        body.append({"name": "total power (W)", "ph": "C", "pid": _PID,
+                     "ts": t, "args": {"raw": total, "smoothed": smoothed}})
+    for ev in bus.events(EventKind.ROB_SAMPLE):
+        body.append({"name": "rob occupancy", "ph": "C", "pid": _PID,
+                     "ts": ts(ev.cycle),
+                     "args": {f"core{ev.core}": ev.value}})
+
+    body.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.telemetry",
+            "frequency_mhz": cfg.tech.frequency_mhz,
+            "num_cores": n,
+            "events_total": bus.total_events,
+            "events_dropped": bus.total_dropped,
+        },
+    }
+
+
+def write_chrome_trace(session, path: str,
+                       include_micro: bool = False) -> Dict:
+    trace = build_chrome_trace(session, include_micro=include_micro)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+_KNOWN_PH = {"B", "E", "i", "I", "C", "M", "X"}
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Check ``trace`` against the Chrome ``trace_event`` JSON schema.
+
+    Returns a list of problems (empty means the trace is loadable by
+    Perfetto / chrome://tracing).  Checked: top-level shape, per-event
+    required keys, known phases, numeric non-negative timestamps, and
+    balanced B/E stacks per (pid, tid).
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    depth: Dict[tuple, int] = {}
+    for idx, ev in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PH:
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata event needs args")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph in ("B", "E", "i", "I", "X") and not isinstance(
+                ev.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if ph == "B":
+            depth[(ev.get("pid"), ev.get("tid"))] = depth.get(
+                (ev.get("pid"), ev.get("tid")), 0) + 1
+        elif ph == "E":
+            key = (ev.get("pid"), ev.get("tid"))
+            if depth.get(key, 0) <= 0:
+                problems.append(f"{where}: E without matching B on {key}")
+            else:
+                depth[key] -= 1
+        elif ph == "C" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: counter event needs args")
+    for key, d in sorted(depth.items()):
+        if d:
+            problems.append(f"unbalanced B/E on (pid, tid)={key}: {d} open")
+    return problems
+
+
+def write_metrics_csv(registry, path: str) -> None:
+    """Flat CSV: one row per counter/gauge, one per histogram bucket."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "core", "type", "field", "value"])
+        for row in registry.rows():
+            writer.writerow(row)
+
+
+def write_metrics_json(session, path: str) -> Dict:
+    doc = {
+        "metrics": session.metrics.to_dict(),
+        "aopb_by_phase": session.aopb_by_phase_dict(),
+        "aopb_total": session.aopb_total,
+        "tokens_pledged": session.tokens_pledged,
+        "tokens_granted": session.tokens_granted,
+        "granted_by_phase": session.granted_by_phase_dict(),
+        "truncated": session.truncated,
+        "events": {k.name: v for k, v in session.bus.counts.items() if v},
+        "events_dropped": session.bus.total_dropped,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def write_power_timeline(session, path: str) -> int:
+    """One NDJSON row per sampled cycle; returns the row count."""
+    rows = 0
+    with open(path, "w") as fh:
+        for cycle, total, smoothed, powers in session.timeline:
+            fh.write(json.dumps({
+                "cycle": cycle,
+                "total_w": total,
+                "smoothed_w": smoothed,
+                "cores_w": list(powers),
+            }))
+            fh.write("\n")
+            rows += 1
+    return rows
+
+
+def load_power_timeline(path: str) -> List[Dict[str, object]]:
+    """Read a power-timeline NDJSON file back (for ``repro.analysis``)."""
+    out: List[Dict[str, object]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def peak_power(timeline_rows: Iterable[Dict[str, object]]) -> Watts:
+    """Max total watts across loaded timeline rows (0.0 when empty)."""
+    return max((float(r["total_w"]) for r in timeline_rows), default=0.0)

@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Events (``events.py``) answer *when* something happened; metrics answer
+*how much* of it a run saw.  The registry keys every instrument by
+``(name, core)`` so per-core series line up in exports; ``core=None``
+is the CMP-global label.
+
+Instruments are deliberately primitive — integers, floats and
+fixed-bucket histograms — so a run's metrics serialize to CSV/JSON
+without any schema machinery and diff cleanly across PRs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CYCLE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "TOKEN_BUCKETS",
+]
+
+#: Default buckets for cycle-count distributions (spin episode lengths,
+#: window occupancies...): powers of two up to 64K cycles.
+CYCLE_BUCKETS: Tuple[float, ...] = tuple(
+    float(1 << i) for i in range(0, 17, 2)
+)
+
+#: Buckets for per-access latencies: L1 hit .. memory round trip.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 12.0, 25.0, 50.0, 100.0, 200.0, 400.0,
+)
+
+#: Buckets for per-instruction power-token costs (base + ROB residency).
+TOKEN_BUCKETS: Tuple[float, ...] = (
+    2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins sample."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Fixed-bucket distribution with an overflow bucket.
+
+    ``buckets`` are sorted upper bounds; an observation lands in the
+    first bucket whose bound is ``>= v`` (bounds are inclusive), or in
+    the overflow bucket past the last bound.  ``counts`` therefore has
+    ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.total += 1
+        self.sum += v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_pairs(self) -> List[Tuple[str, int]]:
+        """``(upper-bound label, count)`` pairs, overflow labelled +Inf."""
+        labels = [f"le_{b:g}" for b in self.bounds] + ["le_inf"]
+        return list(zip(labels, self.counts))
+
+
+#: Registry key: (metric name, core label or None).
+_Key = Tuple[str, Optional[int]]
+
+
+class MetricsRegistry:
+    """All of one run's instruments, keyed by ``(name, core)``.
+
+    Lookup methods are get-or-create so probe sites never need to
+    pre-register; asking for an existing name with a conflicting
+    instrument type is an error (one name, one type).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[_Key, object] = {}
+
+    def _get(self, name: str, core: Optional[int], factory, cls) -> object:
+        key = (name, core)
+        m = self._metrics.get(key)
+        if m is None:
+            m = factory()
+            self._metrics[key] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} (core={core}) already registered as "
+                f"{type(m).__name__}, not {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str, core: Optional[int] = None) -> Counter:
+        return self._get(name, core, Counter, Counter)
+
+    def gauge(self, name: str, core: Optional[int] = None) -> Gauge:
+        return self._get(name, core, Gauge, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = CYCLE_BUCKETS,
+        core: Optional[int] = None,
+    ) -> Histogram:
+        return self._get(name, core, lambda: Histogram(buckets), Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self) -> Iterator[Tuple[str, Optional[int], object]]:
+        """(name, core, instrument) triples in stable sorted order."""
+        for (name, core) in sorted(
+            self._metrics, key=lambda k: (k[0], -1 if k[1] is None else k[1])
+        ):
+            yield name, core, self._metrics[(name, core)]
+
+    def rows(self) -> List[Tuple[str, str, str, str, float]]:
+        """Flat ``(name, core, type, field, value)`` rows for CSV export.
+
+        Counters/gauges yield one row; histograms yield one row per
+        bucket plus ``total``/``sum`` rows.
+        """
+        out: List[Tuple[str, str, str, str, float]] = []
+        for name, core, m in self.items():
+            label = "" if core is None else str(core)
+            if isinstance(m, Counter):
+                out.append((name, label, "counter", "value", float(m.value)))
+            elif isinstance(m, Gauge):
+                out.append((name, label, "gauge", "value", float(m.value)))
+            elif isinstance(m, Histogram):
+                for bucket, count in m.bucket_pairs():
+                    out.append((name, label, "histogram", bucket,
+                                float(count)))
+                out.append((name, label, "histogram", "total",
+                            float(m.total)))
+                out.append((name, label, "histogram", "sum", m.sum))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested ``{name: {core-label: value-or-histogram-dict}}``."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, core, m in self.items():
+            label = "all" if core is None else f"core{core}"
+            slot = out.setdefault(name, {})
+            if isinstance(m, Counter):
+                slot[label] = m.value
+            elif isinstance(m, Gauge):
+                slot[label] = m.value
+            elif isinstance(m, Histogram):
+                slot[label] = {
+                    "buckets": dict(m.bucket_pairs()),
+                    "total": m.total,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                }
+        return out

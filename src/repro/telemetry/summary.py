@@ -1,0 +1,87 @@
+"""Human-readable run summary: per-phase AoPB and token-flow breakdown.
+
+Answers the two questions the paper's figures keep asking — *where* did
+the area-over-power-budget accrue (Figure 3's phase split applied to
+Figure 1's area), and *who* received the balanced tokens — as one text
+table per run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .events import EventKind
+from .session import TELEMETRY_PHASES, TelemetrySession
+
+__all__ = ["phase_breakdown_table", "summarize"]
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+def phase_breakdown_table(session: TelemetrySession) -> str:
+    """Per-phase AoPB (EU) and granted-token breakdown table."""
+    # Imported lazily: the simulator imports repro.telemetry, and
+    # repro.analysis imports the simulator — a module-level import here
+    # would close that cycle.
+    from ..analysis.report import format_table
+
+    aopb = session.aopb_by_phase
+    grants = session.granted_by_phase
+    total_aopb = session.aopb_total
+    total_grants = session.tokens_granted
+    rows: List[List[object]] = []
+    for i, phase in enumerate(TELEMETRY_PHASES):
+        rows.append([
+            phase,
+            f"{aopb[i]:.1f}",
+            _pct(aopb[i], total_aopb),
+            grants[i],
+            _pct(grants[i], total_grants),
+        ])
+    rows.append([
+        "total",
+        f"{total_aopb:.1f}",
+        _pct(total_aopb, total_aopb),
+        total_grants,
+        _pct(total_grants, total_grants),
+    ])
+    return format_table(
+        ["phase", "AoPB (EU)", "AoPB %", "tokens granted", "grant %"],
+        rows,
+        title="Per-phase AoPB / token flow",
+    )
+
+
+def summarize(session: TelemetrySession,
+              result: Optional[object] = None) -> str:
+    """Full post-run report: phase table, token flow, event volumes."""
+    lines: List[str] = [phase_breakdown_table(session), ""]
+    lines.append(
+        f"tokens pledged {session.tokens_pledged}, "
+        f"granted {session.tokens_granted}"
+    )
+    if result is not None:
+        lines.append(
+            f"run: {result.cycles} cycles, energy {result.total_energy:.1f} "
+            f"EU, AoPB {result.aopb_energy:.1f} EU"
+        )
+    bus = session.bus
+    busy = [
+        f"{kind.name}={bus.counts[kind]}"
+        for kind in EventKind
+        if bus.counts[kind]
+    ]
+    lines.append("events: " + (", ".join(busy) if busy else "none"))
+    if bus.total_dropped:
+        lines.append(
+            f"note: {bus.total_dropped} events evicted by ring wraparound "
+            "(counters above remain exact)"
+        )
+    if session.truncated:
+        lines.append(
+            "WARNING: run TRUNCATED at max_cycles before all threads "
+            "completed; aggregates cover the simulated prefix only"
+        )
+    return "\n".join(lines)

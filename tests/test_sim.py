@@ -58,9 +58,14 @@ class TestBasicRuns:
     def test_max_cycles_cap(self):
         cfg = CMPConfig(num_cores=2)
         prog = make_program(2, work=100_000, barriers=1)
-        r = run_simulation(cfg, prog, max_cycles=500)
+        with pytest.warns(RuntimeWarning, match="truncated at max_cycles"):
+            r = run_simulation(cfg, prog, max_cycles=500)
         assert r.cycles == 500
         assert not r.completed
+        assert r.truncated
+
+    def test_completed_run_not_truncated(self, ocean2):
+        assert not ocean2.truncated
 
     def test_traces_collected_on_request(self):
         cfg = CMPConfig(num_cores=2)

@@ -1,0 +1,186 @@
+"""Unit tests: telemetry ring buffer, event bus, metrics instruments."""
+
+import pytest
+
+from repro.telemetry.events import (
+    DEFAULT_CAPACITY,
+    Event,
+    EventBus,
+    EventKind,
+    RingBuffer,
+)
+from repro.telemetry.metrics import (
+    CYCLE_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestRingBuffer:
+    def test_fills_in_order(self):
+        rb = RingBuffer(4)
+        for i in range(3):
+            rb.append(i)
+        assert len(rb) == 3
+        assert list(rb) == [0, 1, 2]
+        assert rb.dropped == 0
+
+    def test_wraparound_drops_oldest(self):
+        rb = RingBuffer(4)
+        for i in range(10):
+            rb.append(i)
+        # Only the newest `capacity` entries survive, oldest first.
+        assert len(rb) == 4
+        assert list(rb) == [6, 7, 8, 9]
+        assert rb.dropped == 6
+
+    def test_exact_capacity_boundary(self):
+        rb = RingBuffer(3)
+        for i in range(3):
+            rb.append(i)
+        assert list(rb) == [0, 1, 2]
+        assert rb.dropped == 0
+        rb.append(3)  # first eviction happens at capacity + 1
+        assert list(rb) == [1, 2, 3]
+        assert rb.dropped == 1
+
+    def test_capacity_one(self):
+        rb = RingBuffer(1)
+        for i in range(5):
+            rb.append(i)
+        assert list(rb) == [4]
+        assert rb.dropped == 4
+
+    def test_clear_resets(self):
+        rb = RingBuffer(2)
+        for i in range(5):
+            rb.append(i)
+        rb.clear()
+        assert len(rb) == 0
+        assert list(rb) == []
+        assert rb.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestEventBus:
+    def test_emit_and_read_back(self):
+        bus = EventBus()
+        bus.emit(5, EventKind.TOKEN_GRANT, 1, 3.0)
+        bus.emit(2, EventKind.TOKEN_GRANT, 0, 7.0)
+        evs = list(bus.events(EventKind.TOKEN_GRANT))
+        assert [e.cycle for e in evs] == [2, 5]  # cycle-sorted
+        assert evs[0] == Event(2, EventKind.TOKEN_GRANT, 0, 7.0, None)
+
+    def test_counts_and_sums_survive_wraparound(self):
+        # The aggregate invariants must stay exact even after the ring
+        # forgets history: that's what lets the trace checks compare
+        # granted-token sums against the balancer's own totals.
+        bus = EventBus(capacities={EventKind.TOKEN_GRANT: 8})
+        total = 0
+        for cycle in range(100):
+            bus.emit(cycle, EventKind.TOKEN_GRANT, 0, float(cycle))
+            total += cycle
+        assert len(bus.ring(EventKind.TOKEN_GRANT)) == 8
+        assert bus.dropped(EventKind.TOKEN_GRANT) == 92
+        assert bus.counts[EventKind.TOKEN_GRANT] == 100
+        assert bus.value_sums[EventKind.TOKEN_GRANT] == float(total)
+        assert bus.total_dropped == 92
+
+    def test_merged_events_sorted_across_kinds(self):
+        bus = EventBus()
+        bus.emit(3, EventKind.SPIN_EXIT, 0)
+        bus.emit(1, EventKind.SPIN_ENTER, 0)
+        bus.emit(2, EventKind.TOKEN_GRANT, 1, 4.0)
+        cycles = [e.cycle for e in bus.events()]
+        assert cycles == sorted(cycles)
+
+    def test_kind_isolation(self):
+        # A chatty kind wrapping must not evict another kind's events.
+        bus = EventBus(capacities={EventKind.MESH_MSG: 4})
+        bus.emit(0, EventKind.TOKEN_GRANT, 0, 1.0)
+        for cycle in range(50):
+            bus.emit(cycle, EventKind.MESH_MSG, -1, 1.0)
+        assert len(bus.ring(EventKind.TOKEN_GRANT)) == 1
+        assert bus.dropped(EventKind.TOKEN_GRANT) == 0
+
+    def test_subscribers_see_every_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EventKind.DVFS_MODE, seen.append)
+        bus.emit(1, EventKind.DVFS_MODE, 0, 2.0, "1->2")
+        bus.emit(2, EventKind.THROTTLE, 0, 1.0)  # different kind: unseen
+        assert len(seen) == 1
+        assert seen[0].detail == "1->2"
+
+    def test_default_capacity_applies(self):
+        bus = EventBus()
+        assert bus.ring(EventKind.THROTTLE).capacity == DEFAULT_CAPACITY
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive(self):
+        h = Histogram((2.0, 4.0, 8.0))
+        # Upper bounds are inclusive: v == bound lands in that bucket.
+        for v, idx in ((1.0, 0), (2.0, 0), (2.5, 1), (4.0, 1),
+                       (8.0, 2), (8.1, 3), (100.0, 3)):
+            before = list(h.counts)
+            h.observe(v)
+            after = list(h.counts)
+            changed = [i for i in range(len(after))
+                       if after[i] != before[i]]
+            assert changed == [idx], f"{v} landed in bucket {changed}"
+        assert h.total == 7
+        assert h.mean == pytest.approx(sum(
+            (1.0, 2.0, 2.5, 4.0, 8.0, 8.1, 100.0)) / 7)
+
+    def test_bucket_pairs_labels(self):
+        h = Histogram((1.0, 10.0))
+        h.observe(0.5)
+        h.observe(999.0)
+        assert h.bucket_pairs() == [("le_1", 1), ("le_10", 0), ("le_inf", 1)]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((4.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 2.0))
+
+    def test_default_bucket_tables_valid(self):
+        # The shipped tables must satisfy the constructor's invariants.
+        Histogram(CYCLE_BUCKETS)
+        Histogram(LATENCY_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(3)
+        assert reg.counter("x").value == 3
+        assert reg.counter("x", core=1) is not c  # per-core is distinct
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_rows_and_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a", core=0).inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c", (1.0, 2.0)).observe(1.5)
+        rows = reg.rows()
+        assert ("a", "0", "counter", "value", 2.0) in rows
+        assert ("b", "", "gauge", "value", 1.5) in rows
+        d = reg.to_dict()
+        assert d["a"]["core0"] == 2
+        assert d["b"]["all"] == 1.5
+        assert d["c"]["all"]["total"] == 1
+        assert d["c"]["all"]["buckets"]["le_2"] == 1
