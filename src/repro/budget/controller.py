@@ -25,7 +25,12 @@ from typing import List, Optional
 
 from ..config import CMPConfig
 from ..power.dvfs import DVFSController
-from ..power.microarch import MicroarchThrottle, Technique, select_technique
+from ..power.microarch import (
+    ISSUE_TECHNIQUES,
+    MicroarchThrottle,
+    Technique,
+    select_technique,
+)
 from ..power.model import EnergyModel
 from ..units import Tokens, Watts
 
@@ -134,10 +139,17 @@ class LocalBudgetController(BudgetController):
         local = self.local_budget
         dvfs_budget = local if self._global_over_window else float("inf")
         throttles = self._throttles
+        dvfs = self._dvfs
+        execute = self.execute
+        v_scales = self.v_scale
+        fetch_allowed = self.fetch_allowed
+        issue_widths = self.issue_width
+        full_width = self.cfg.core.issue_width
+        telemetry = self._telemetry
         for i in range(self.num_cores):
-            ctl = self._dvfs[i]
-            self.execute[i] = ctl.tick(powers[i], dvfs_budget)
-            self.v_scale[i] = ctl.v_scale
+            ctl = dvfs[i]
+            execute[i] = ctl.tick(powers[i], dvfs_budget)
+            v_scales[i] = ctl.v_scale
             if throttles is not None:
                 th = throttles[i]
                 if global_over_now and powers[i] > local:
@@ -146,18 +158,17 @@ class LocalBudgetController(BudgetController):
                 else:
                     th.set(Technique.NONE)
                 th.tick()
-                self.fetch_allowed[i] = th.fetch_allowed
-                self.issue_width[i] = (
-                    th.issue_width(self.cfg.core.issue_width)
-                    if th.technique in (Technique.ISSUE_HALF,
-                                        Technique.PIPELINE_GATE)
+                fetch_allowed[i] = th.fetch_allowed
+                issue_widths[i] = (
+                    th.issue_width(full_width)
+                    if th.technique in ISSUE_TECHNIQUES
                     else None
                 )
                 if th.technique != Technique.NONE:
                     self.throttled_cycles += 1
-                if self._telemetry is not None:
-                    self._telemetry.on_throttle(i, int(th.technique))
-            if not self.execute[i]:
+                if telemetry is not None:
+                    telemetry.on_throttle(i, int(th.technique))
+            if not execute[i]:
                 self.throttled_cycles += 0  # f-skips tracked by DVFS itself
 
     # -- introspection -----------------------------------------------------

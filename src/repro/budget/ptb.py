@@ -31,7 +31,7 @@ from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from ..config import CMPConfig
-from ..power.microarch import Technique, select_technique
+from ..power.microarch import ISSUE_TECHNIQUES, Technique, select_technique
 from ..power.model import EnergyModel
 from ..units import Tokens, Watts
 from .controller import LocalBudgetController
@@ -40,8 +40,8 @@ from .controller import LocalBudgetController
 class PTBLoadBalancer:
     """The centralized token redistribution logic (pure, unit-testable)."""
 
-    __slots__ = ("num_cores", "latency", "_pipe", "granted_total",
-                 "_sanitizer", "_telemetry")
+    __slots__ = ("num_cores", "latency", "_pipe", "_pending",
+                 "granted_total", "_sanitizer", "_telemetry")
 
     def __init__(self, num_cores: int, latency: int) -> None:
         if num_cores <= 0:
@@ -52,6 +52,10 @@ class PTBLoadBalancer:
         self.latency = latency
         # In-flight (spares, overs, priority) snapshots.
         self._pipe: Deque[Tuple[List[int], List[int], List[int]]] = deque()
+        # Running per-core sum of the spare columns in ``_pipe``, kept
+        # incrementally (integer tokens, so add/subtract is exact) to
+        # make :meth:`pending_pledge` O(1) instead of O(latency).
+        self._pending: List[int] = [0] * num_cores
         self.granted_total = 0
         #: Optional :class:`repro.simcheck.TokenSanitizer` hook.
         self._sanitizer = None
@@ -87,11 +91,8 @@ class PTBLoadBalancer:
             # token, then the remainder flows to the next-most-needy.  A
             # contended-lock holder outranks raw overshoot — it gates the
             # whole application's progress.
-            order = sorted(
-                (i for i in range(n) if overs[i] > 0),
-                key=lambda i: overs[i],
-                reverse=True,
-            )
+            order = [i for i in range(n) if overs[i] > 0]
+            order.sort(key=overs.__getitem__, reverse=True)
             for p in reversed(priority or ()):
                 if p in order:
                     order.remove(p)
@@ -131,11 +132,18 @@ class PTBLoadBalancer:
         balancer is combinational (used by the ablation benchmarks).
         """
         self._pipe.append((list(spares), list(overs), list(priority or ())))
+        pending = self._pending
+        for i in range(self.num_cores):
+            pending[i] += spares[i]
         if len(self._pipe) <= self.latency:
             grants = [0] * self.num_cores
         else:
             old_spares, old_overs, old_priority = self._pipe.popleft()
-            pool = sum(old_spares)
+            pool = 0
+            for i in range(self.num_cores):
+                delivered = old_spares[i]
+                pending[i] -= delivered
+                pool += delivered
             grants = self.distribute(pool, old_overs, policy, old_priority)
             if self._sanitizer is not None:
                 self._sanitizer.check_distribution(pool, grants)
@@ -147,7 +155,12 @@ class PTBLoadBalancer:
 
     def pending_pledge(self, core: int) -> Tokens:
         """Tokens core ``core`` has reported spare and not yet delivered."""
-        return sum(snapshot[0][core] for snapshot in self._pipe)
+        return self._pending[core]
+
+    def copy_pending(self, out: List[Tokens]) -> None:
+        """Snapshot every core's undelivered pledge into ``out`` in place
+        (the controller's per-cycle buffer; avoids a fresh list per cycle)."""
+        out[:] = self._pending
 
 
 class PTBController(LocalBudgetController):
@@ -190,6 +203,15 @@ class PTBController(LocalBudgetController):
         self._grants: List[Tokens] = [0] * cfg.num_cores
         self._last_spares: List[Tokens] = [0] * cfg.num_cores
         self._last_overs: List[Tokens] = [0] * cfg.num_cores
+        # Per-cycle scratch reused across end_cycle calls (PERF001: four
+        # fresh lists per cycle otherwise).  ``_last_spares``/``_last_overs``
+        # alias the report buffers after end_cycle — observers read them
+        # before the next cycle overwrites them, and the balancer snapshots
+        # its own copies into the pipe.
+        self._zeros: List[Tokens] = [0] * cfg.num_cores
+        self._pledged_buf: List[Tokens] = [0] * cfg.num_cores
+        self._spares_buf: List[Tokens] = [0] * cfg.num_cores
+        self._overs_buf: List[Tokens] = [0] * cfg.num_cores
         #: Per-core effective token budget of the last completed cycle:
         #: allotment + delivered grants - every pledge still in flight.
         self.effective_budgets: List[Tokens] = (
@@ -243,8 +265,12 @@ class PTBController(LocalBudgetController):
 
         # --- token bookkeeping ------------------------------------------------
         global_over = sum(tokens) > self.global_token_budget
-        spares = [0] * n
-        overs = [0] * n
+        zeros = self._zeros
+        spares = self._spares_buf
+        spares[:] = zeros
+        overs = self._overs_buf
+        overs[:] = zeros
+        grants = self._grants
         # Cores *approaching* their allotment request tokens too: the
         # balancer round trip is 3-10 cycles, so waiting until a core is
         # already over would leave every power ramp uncovered for a full
@@ -255,9 +281,10 @@ class PTBController(LocalBudgetController):
         # the pipe holds `latency` cycles of undelivered pledges, not
         # just the last cycle's.  Snapshot before this cycle's reports
         # enter the pipe.
-        pledged = [self.balancer.pending_pledge(i) for i in range(n)]
+        pledged = self._pledged_buf
+        self.balancer.copy_pending(pledged)
         for i in range(n):
-            usable = t_local - pledged[i] + self._grants[i]
+            usable = t_local - pledged[i] + grants[i]
             if tokens[i] >= near_floor:
                 # Power-hungry (at or approaching the allotment):
                 # request the gap between consumption and what is
@@ -290,7 +317,7 @@ class PTBController(LocalBudgetController):
             if sync_domain is not None
             else []
         )
-        self._grants = self.balancer.cycle(spares, overs, policy, priority)
+        grants = self._grants = self.balancer.cycle(spares, overs, policy, priority)
         # Last cycle's reports, kept for observability (tests, sanitizers).
         self._last_spares = spares
         self._last_overs = overs
@@ -298,10 +325,21 @@ class PTBController(LocalBudgetController):
         # --- actuators for next cycle -----------------------------------------
         throttles = self._throttles
         relax = self.relax
+        dvfs = self._dvfs
+        execute = self.execute
+        v_scales = self.v_scale
+        effective_budgets = self.effective_budgets
+        budget_lines = self.budget_lines
+        local_budget = self.local_budget
+        tokens_to_eu = self.energy.tokens_to_eu
+        telemetry = self._telemetry
+        fetch_allowed = self.fetch_allowed
+        issue_widths = self.issue_width
+        full_width = self.cfg.core.issue_width
         for i in range(n):
-            ctl = self._dvfs[i]
-            self.execute[i] = ctl.tick(powers[i], dvfs_budget)
-            self.v_scale[i] = ctl.v_scale
+            ctl = dvfs[i]
+            execute[i] = ctl.tick(powers[i], dvfs_budget)
+            v_scales[i] = ctl.v_scale
             th = throttles[i]
             # Control plane: a pledging donor runs under a restricted
             # budget until its tokens land (paper Section III.E.2).
@@ -312,14 +350,12 @@ class PTBController(LocalBudgetController):
             # stays restricted through the cycle its tokens are spent,
             # so sum(effective budgets) + pipe contents never exceeds
             # the global token budget.
-            eff_budget = t_local + self._grants[i] - (pledged[i] + spares[i])
-            self.effective_budgets[i] = eff_budget
+            eff_budget = t_local + grants[i] - (pledged[i] + spares[i])
+            effective_budgets[i] = eff_budget
             # Metric plane: the AoPB budget line rises with granted
             # tokens; a donor is simply under its local line, so the
             # pledge does not lower the line it is measured against.
-            self.budget_lines[i] = self.local_budget + self.energy.tokens_to_eu(
-                self._grants[i]
-            )
+            budget_lines[i] = local_budget + tokens_to_eu(grants[i])
             if global_over and eff_budget <= 0 and tokens[i] > 0:
                 # The core pledged its whole allotment away (or more)
                 # and is consuming anyway: in-flight tokens must not be
@@ -340,11 +376,11 @@ class PTBController(LocalBudgetController):
             else:
                 th.set(Technique.NONE)
             th.tick()
-            if self._telemetry is not None:
-                self._telemetry.on_throttle(i, int(th.technique))
-            self.fetch_allowed[i] = th.fetch_allowed
-            self.issue_width[i] = (
-                th.issue_width(self.cfg.core.issue_width)
-                if th.technique in (Technique.ISSUE_HALF, Technique.PIPELINE_GATE)
+            if telemetry is not None:
+                telemetry.on_throttle(i, int(th.technique))
+            fetch_allowed[i] = th.fetch_allowed
+            issue_widths[i] = (
+                th.issue_width(full_width)
+                if th.technique in ISSUE_TECHNIQUES
                 else None
             )

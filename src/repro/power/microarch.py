@@ -35,6 +35,11 @@ class Technique(IntEnum):
     PIPELINE_GATE = 5    # no fetch, no issue (drain/commit only)
 
 
+#: The techniques that narrow the issue width.  A module constant so the
+#: controllers' per-core actuator loops don't rebuild the tuple every
+#: cycle (simcheck PERF001).
+ISSUE_TECHNIQUES = (Technique.ISSUE_HALF, Technique.PIPELINE_GATE)
+
 #: Overshoot thresholds (fractions over the local budget) selecting each
 #: technique, scanned in order.
 _THRESHOLDS = (

@@ -180,6 +180,9 @@ class CMPSimulator:
         temps = thermal.temps
         sanitizers = self.sanitizers
         telemetry = self.telemetry
+        begin_cycle = controller.begin_cycle
+        end_cycle = controller.end_cycle
+        add_thermal_cycle = thermal.add_cycle
 
         cycle = 0
         done_count = 0
@@ -188,7 +191,7 @@ class CMPSimulator:
                 sanitizers.on_cycle(cycle)
             if telemetry is not None:
                 telemetry.begin_cycle(cycle)
-            controller.begin_cycle(cycle)
+            begin_cycle(cycle)
             total = 0.0
             done_count = 0
             for i in range(n):
@@ -231,13 +234,13 @@ class CMPSimulator:
                 aopb_global += total_s - budget
             if total > max_power:
                 max_power = total
-            thermal.add_cycle(powers)
+            add_thermal_cycle(powers)
             if telemetry is not None:
                 # Same smoothed/budget_lines values the AoPB just used,
                 # observed before the controller reacts to this cycle.
                 telemetry.sample_cycle(powers, smoothed, budget_lines,
                                        total, total_s)
-            controller.end_cycle(cycle, tokens, smoothed, sync_domain)
+            end_cycle(cycle, tokens, smoothed, sync_domain)
             if trace is not None:
                 trace.append(total)
                 core_traces.append(list(powers))

@@ -1,4 +1,4 @@
-"""``python -m repro.simcheck`` — lint + sanitized smoke entry point."""
+"""``python -m repro.simcheck`` — lint, flow, kernel + smoke entry point."""
 
 import sys
 

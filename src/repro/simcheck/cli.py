@@ -8,12 +8,18 @@ Subcommands:
   hazards (FLOW rules) and unit/dimension propagation (UNIT rules),
   gated against ``.simcheck-baseline.json`` so CI fails only on
   regressions.
+* ``kernel PATH``   — hot-loop performance lint (PERF rules) plus the
+  per-core / cross-core / global field-coupling report that gates the
+  numpy SoA rewrite (``--report kernel-report.json``), gated against
+  ``.simcheck-kernel-baseline.json``.
 * ``smoke``         — run a short 2-core simulation under every PTB
   policy with all runtime sanitizers enabled; exit non-zero on any
   :class:`SanitizerViolation` (CI gate for hook regressions).
 
-Both ``lint`` and ``flow`` accept ``--format json`` and then emit one
-JSON object ``{"tool", "findings": [...], "count"}`` on stdout.
+``lint``, ``flow`` and ``kernel`` accept ``--format json`` (one JSON
+object ``{"tool", "findings": [...], "count"}``) and ``--format sarif``
+(SARIF 2.1.0 for code-scanning annotations); ``kernel`` additionally
+accepts ``--format table`` for the human coupling view.
 """
 
 from __future__ import annotations
@@ -30,8 +36,12 @@ from .lint import Finding, iter_rules, lint_paths
 def _emit_findings(
     tool: str, findings: Sequence[Finding], fmt: str
 ) -> None:
-    """Print findings as ``file:line:col`` lines or one JSON document."""
-    if fmt == "json":
+    """Print findings as ``file:line:col`` lines or one document."""
+    if fmt == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(tool, findings))
+    elif fmt == "json":
         print(
             json.dumps(
                 {
@@ -113,6 +123,15 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             print(f"simcheck flow: {exc}", file=sys.stderr)
             return 2
 
+    if args.prune_baseline:
+        if baseline_path is None:
+            print(
+                "simcheck flow: --prune-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        return _prune_baseline("flow", baseline_path, findings)
+
     if args.write_baseline:
         if baseline_path is None:
             print(
@@ -149,6 +168,156 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _prune_baseline(
+    tool: str, baseline_path: Path, findings: Sequence[Finding]
+) -> int:
+    """Drop baseline entries whose fingerprint no longer fires.
+
+    Rewrites the file in place preserving rule/example/justification on
+    the surviving entries, and reports exactly what was pruned so the
+    cleanup is auditable from the CI log.
+    """
+    if not baseline_path.exists():
+        print(
+            f"simcheck {tool}: no baseline at {baseline_path}; nothing to prune",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        data = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"simcheck {tool}: {exc}", file=sys.stderr)
+        return 2
+    entries = data.get("findings", []) if isinstance(data, dict) else None
+    if entries is None:
+        print(
+            f"simcheck {tool}: {baseline_path}: unsupported baseline format",
+            file=sys.stderr,
+        )
+        return 2
+    fired = {f.identity() for f in findings}
+    kept = [e for e in entries if e.get("fingerprint") in fired]
+    pruned = [e for e in entries if e.get("fingerprint") not in fired]
+    for entry in pruned:
+        print(
+            f"simcheck {tool}: pruned stale baseline entry "
+            f"{entry.get('fingerprint')} (was {entry.get('example', '?')})"
+        )
+    if pruned:
+        data["findings"] = kept
+        baseline_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(
+        f"simcheck {tool}: pruned {len(pruned)} stale entr"
+        f"{'y' if len(pruned) == 1 else 'ies'}, kept {len(kept)}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .flow import apply_baseline, load_baseline, write_baseline
+    from .kernel import analyze_kernel, render_json, render_table
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"simcheck kernel: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_kernel(root)
+    if args.verbose:
+        for note in analysis.notes:
+            print(note, file=sys.stderr)
+    if analysis.report is None:
+        print(
+            "simcheck kernel: no per-cycle driver loop found; "
+            "nothing to analyze",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.report:
+        Path(args.report).write_text(render_json(analysis.report))
+        print(
+            f"simcheck kernel: wrote report to {args.report}", file=sys.stderr
+        )
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = {}
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"simcheck kernel: {exc}", file=sys.stderr)
+            return 2
+
+    if args.prune_baseline:
+        if baseline_path is None:
+            print(
+                "simcheck kernel: --prune-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        return _prune_baseline("kernel", baseline_path, analysis.findings)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print(
+                "simcheck kernel: --write-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_baseline(baseline_path, analysis.findings, baseline)
+        print(
+            f"simcheck kernel: wrote {count} baseline entries to "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    new, suppressed, stale = apply_baseline(analysis.findings, baseline)
+    if args.format == "table":
+        print(render_table(analysis.report), end="")
+        for finding in new:
+            print(finding.render())
+    else:
+        _emit_findings("kernel", new, args.format)
+    if suppressed:
+        print(
+            f"simcheck kernel: {len(suppressed)} baselined finding(s) "
+            "suppressed",
+            file=sys.stderr,
+        )
+    for fp in stale:
+        print(
+            f"simcheck kernel: stale baseline entry (no longer fires): {fp}",
+            file=sys.stderr,
+        )
+
+    status = 0
+    unknown = analysis.unknown_fields
+    if unknown:
+        for f in unknown:
+            print(
+                f"simcheck kernel: UNCLASSIFIED field {f.key} "
+                f"(written at {f.where}) — extend the coupling analysis",
+                file=sys.stderr,
+            )
+        print(
+            f"simcheck kernel: {len(unknown)} field(s) could not be "
+            "classified; the coupling report is incomplete",
+            file=sys.stderr,
+        )
+        status = 1
+    if new:
+        print(
+            f"simcheck kernel: {len(new)} new PERF finding(s) — fix them "
+            "or baseline with a justification",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
@@ -234,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     lint.set_defaults(func=_cmd_lint)
@@ -253,13 +422,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from current findings and exit 0",
     )
     flow.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that no longer fire and report them",
+    )
+    flow.add_argument(
         "--no-hazards", action="store_true", help="skip the FLOW pass"
     )
     flow.add_argument(
         "--no-units", action="store_true", help="skip the UNIT pass"
     )
     flow.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     flow.add_argument(
@@ -267,6 +440,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print analysis notes (module count, driver, parse errors)",
     )
     flow.set_defaults(func=_cmd_flow)
+
+    kernel = sub.add_parser(
+        "kernel",
+        help="hot-loop PERF lint + per-core/cross-core coupling report",
+    )
+    kernel.add_argument(
+        "path", help="package root to analyze (e.g. src/repro)"
+    )
+    kernel.add_argument(
+        "--baseline",
+        help="baseline JSON of accepted PERF findings "
+        "(e.g. .simcheck-kernel-baseline.json)",
+    )
+    kernel.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    kernel.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that no longer fire and report them",
+    )
+    kernel.add_argument(
+        "--report", metavar="FILE",
+        help="write the machine-readable kernel report (kernel-report.json)",
+    )
+    kernel.add_argument(
+        "--format", choices=("text", "json", "sarif", "table"),
+        default="text",
+        help="finding output format; 'table' renders the coupling report",
+    )
+    kernel.add_argument(
+        "--verbose", action="store_true",
+        help="print analysis notes (driver, hot-function count)",
+    )
+    kernel.set_defaults(func=_cmd_kernel)
 
     smoke = sub.add_parser(
         "smoke", help="short 2-core sim under every policy with sanitizers on"

@@ -465,8 +465,20 @@ class EffectSink:
         if not self.muted:
             self.effects.update(summary)
 
-    def function(self, summary: EffectSet, node: ast.AST) -> None:
-        """Module-function effects merge like method effects."""
+    def function(
+        self,
+        summary: EffectSet,
+        node: ast.AST,
+        module: Optional[ModuleInfo] = None,
+        fn: Optional[ast.FunctionDef] = None,
+        bindings: Optional[Dict[str, AbstractVal]] = None,
+    ) -> None:
+        """Module-function effects merge like method effects.
+
+        ``module``/``fn``/``bindings`` identify the callee so sinks that
+        track *reachability* (the kernel pass) can follow the call; the
+        default effect-merging sink ignores them.
+        """
         if not self.muted:
             self.effects.update(summary)
 
@@ -790,7 +802,8 @@ class BodyWalker:
                 mod, fn = resolved
                 bindings = self._bind_call_args(fn, call, skip_self=False)
                 summary = self.analyzer.function_effects(mod, fn, bindings)
-                self.sink.function(summary, call)
+                self.sink.function(summary, call, module=mod, fn=fn,
+                                   bindings=bindings)
             else:
                 self._eval_args(call)
             return None

@@ -170,7 +170,7 @@ class _TickSink(EffectSink):
         for access in summary.writes.values():
             self._emit("w", access, label, instance.key)
 
-    def function(self, summary: EffectSet, node: ast.AST) -> None:
+    def function(self, summary: EffectSet, node: ast.AST, **kwargs) -> None:
         if self.muted:
             return
         for access in summary.reads.values():

@@ -1,0 +1,262 @@
+"""Field classification: per-core / cross-core / global.
+
+ROADMAP item 1 replaces the per-cycle interpreter loop with a batched
+(struct-of-arrays) kernel.  What decides whether a field can move into
+that kernel is *coupling*:
+
+* **per_core** — every access during the sweep stays inside the owning
+  replicated instance (``sim.cores[*].rob_occupancy``): iteration *i*
+  touches only core *i*'s copy.  Safe to batch into one array op across
+  cores.
+* **cross_core** — the field carries information *between* core
+  indices within a cycle: state on a replicated node accessed from
+  outside its own sweep iteration, shared state read or written inside
+  the per-core sweep, or a per-core-indexed container on a shared
+  component (the PTB pledge/grant vectors, coherence directories, NoC
+  credits).  These are the serialization points the rewrite must model
+  explicitly.
+* **global** — shared scalars touched only at the driver's top level
+  (cycle counters, balancer epoch state).  Cheap either way.
+
+The evidence is the same tick-ordered event stream the FLOW hazard pass
+walks (:mod:`repro.simcheck.flow.hazards`), reusing its replicated
+``[*]`` instance nodes and sweep-group tracking; classification is of
+fields *written* during the sweep (read-only config is not state).
+Anything owned by the observation plane (``telemetry/``, ``simcheck/``)
+is excluded — the zero-cost guard contract makes it removable.
+
+A field whose owning instance cannot be resolved to any class is
+``unknown``; the CLI treats that as an analysis failure, keeping the
+"every field classified" guarantee honest as the tree grows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..flow.effects import (
+    EffectAnalyzer,
+    Instance,
+    MUTATORS,
+    build_instance_graph,
+)
+from ..flow.hazards import (
+    ROOT_KEY,
+    TickEvent,
+    _display,
+    _per_instance,
+    _replicated_root,
+    _TickSink,
+    _TickState,
+    _TickWalker,
+)
+from ..flow.model import ClassInfo, PackageIndex
+from .hotpath import is_observer_module
+
+PER_CORE = "per_core"
+CROSS_CORE = "cross_core"
+GLOBAL = "global"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class FieldClass:
+    """Classification of one state field written during the sweep."""
+
+    key: str                   # display loc key ("controller._grants")
+    owner: str                 # owning class name
+    attr: str
+    classification: str
+    reason: str
+    writers: List[str] = field(default_factory=list)
+    readers: List[str] = field(default_factory=list)
+    where: str = ""            # file:line of the first write
+
+
+def extract_sweep_events(
+    index: PackageIndex,
+    root_cls: ClassInfo,
+    driver_fn: ast.FunctionDef,
+    loop: ast.stmt,
+    analyzer: EffectAnalyzer,
+) -> Tuple[_TickState, Instance]:
+    """The flow pass's tick extraction, sharing the kernel's analyzer."""
+    root = build_instance_graph(index, root_cls, ROOT_KEY)
+    state = _TickState()
+    sink = _TickSink(analyzer, state, f"{root_cls.name}.{driver_fn.name}")
+    walker = _TickWalker(
+        analyzer, root_cls.module, root, root_cls, root_cls, {}, sink,
+        state=state,
+    )
+    sink.muted += 1
+    for stmt in driver_fn.body:
+        if stmt is loop:
+            break
+        walker.exec_stmt(stmt)
+    for stmt in loop.body:
+        walker.exec_stmt(stmt)
+    sink.muted -= 1
+    if isinstance(loop, ast.For):
+        walker.bind_loop_target(loop.target, loop.iter)
+    for stmt in loop.body:
+        walker.exec_stmt(stmt)
+    return state, root
+
+
+def _is_observer_event(event: TickEvent) -> bool:
+    instance = event.access.instance
+    if instance.classes and all(
+        is_observer_module(c.module) for c in instance.classes
+    ):
+        return True
+    return event.access.file.startswith(("simcheck/", "telemetry/"))
+
+
+def _self_attr(node: ast.expr, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _percore_container(
+    index: PackageIndex, instance: Instance, attr: str
+) -> Optional[str]:
+    """Reason string when ``self.attr`` is structurally a per-core or
+    mutated container on the owning class, else None.
+
+    Signals, checked over the owning class's MRO:
+
+    * ``self.attr[i]`` with a non-constant index — per-core-indexed;
+    * ``self.attr = [x] * n`` / ``[... for _ in ...]`` — vector sized
+      at construction (one slot per core);
+    * a container-mutator call (``self.attr.append(...)``) — a queue or
+      pipe carrying values between sweep positions.
+
+    Subscripts and mutator calls are also recognised through simple
+    local aliases (``grants = self._grants`` then ``grants[i] = ...``)
+    — the exact idiom the PERF002 hoisting advice produces, which must
+    not make a per-core vector look like a global scalar.
+    """
+    for cls in instance.classes:
+        for owner in index.mro(cls):
+            for fn in owner.methods.values():
+                aliases: Set[str] = set()
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Assign) and (
+                        _self_attr(node.value, attr)
+                        or any(_self_attr(t, attr) for t in node.targets)
+                    ):
+                        aliases.update(
+                            t.id for t in node.targets
+                            if isinstance(t, ast.Name)
+                        )
+
+                def hits(value: ast.expr) -> bool:
+                    return _self_attr(value, attr) or (
+                        isinstance(value, ast.Name) and value.id in aliases
+                    )
+
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Subscript) and hits(node.value):
+                        if not isinstance(node.slice, ast.Constant):
+                            return "indexed by a non-constant (core) index"
+                    elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        if any(_self_attr(t, attr) for t in targets):
+                            value = node.value
+                            if isinstance(value, ast.BinOp) and isinstance(
+                                value.op, ast.Mult
+                            ) and (
+                                isinstance(value.left, ast.List)
+                                or isinstance(value.right, ast.List)
+                            ):
+                                return "vector sized at construction ([x] * n)"
+                            if isinstance(value, ast.ListComp):
+                                return "vector built per element at construction"
+                    elif isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        if node.func.attr in MUTATORS and hits(
+                            node.func.value
+                        ):
+                            return f"container mutated ({node.func.attr})"
+    return None
+
+
+def classify_fields(
+    index: PackageIndex, state: _TickState
+) -> Tuple[List[FieldClass], List[Dict[str, object]]]:
+    """Classify every written field; return (fields, coupling edges)."""
+    by_loc: Dict[str, List[TickEvent]] = {}
+    for event in state.events:
+        if _is_observer_event(event):
+            continue
+        by_loc.setdefault(event.access.loc_key, []).append(event)
+
+    sweep_groups: Set[int] = {
+        g for g, keys in state.group_iterates.items() if keys
+    }
+
+    fields: List[FieldClass] = []
+    edges: List[Dict[str, object]] = []
+    for loc_key in sorted(by_loc):
+        events = by_loc[loc_key]
+        writes = [e for e in events if e.kind == "w"]
+        if not writes:
+            continue
+        reads = [e for e in events if e.kind == "r"]
+        access = writes[0].access
+        instance = access.instance
+        owner = instance.display_class if instance.classes else "?"
+
+        if not instance.classes:
+            cls_kind, reason = UNKNOWN, "owning instance has no resolved class"
+        elif _replicated_root(loc_key) is not None:
+            if all(_per_instance(e, state) for e in events):
+                cls_kind = PER_CORE
+                reason = (
+                    "replicated state; every sweep access stays on the "
+                    "owning element"
+                )
+            else:
+                cls_kind = CROSS_CORE
+                reason = "replicated state accessed across element indices"
+        elif any(e.group in sweep_groups for e in writes):
+            cls_kind = CROSS_CORE
+            reason = "shared state written inside the per-core sweep"
+        else:
+            container = _percore_container(index, instance, access.attr)
+            if container is not None:
+                cls_kind = CROSS_CORE
+                reason = f"per-core container on shared {owner}: {container}"
+            else:
+                cls_kind = GLOBAL
+                reason = f"scalar on shared {owner}, driver-level access only"
+
+        record = FieldClass(
+            key=_display(loc_key),
+            owner=owner,
+            attr=access.attr,
+            classification=cls_kind,
+            reason=reason,
+            writers=sorted({e.label for e in writes}),
+            readers=sorted({e.label for e in reads}),
+            where=f"{access.file}:{access.line}",
+        )
+        fields.append(record)
+        if cls_kind == CROSS_CORE:
+            edges.append({
+                "field": record.key,
+                "writers": record.writers,
+                "readers": record.readers,
+            })
+    return fields, edges

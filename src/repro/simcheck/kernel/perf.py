@@ -1,0 +1,441 @@
+"""Hot-loop performance rules PERF001–PERF006.
+
+Every rule runs over the functions the hot-graph builder proved
+reachable from the driver's per-cycle sweep — code that executes once
+(or once per core) per simulated cycle, millions of times per run.  At
+that multiplier, interpreter-level waste the profiler attributes to "a
+little bit of everything" adds up to the wall ROADMAP item 1 describes,
+so the rules flag the classic CPython per-iteration costs:
+
+* **PERF001** — container allocation per cycle: list/dict/set displays,
+  comprehensions, and ``list()``/``dict()``-style constructor calls
+  (tuples only when built per iteration of an inner loop from
+  non-constant elements — constant tuples are folded by the compiler).
+* **PERF002** — repeated attribute-chain loads (``self.cfg.dvfs.f_max``)
+  that LOAD_ATTR once per use; hoist to a local before the loop.
+* **PERF003** — per-cycle ``lambda``/closure creation (one fresh
+  function object per cycle, usually a sort key).
+* **PERF004** — string formatting on the hot path (f-strings, ``%``,
+  ``.format``); error-path formatting inside ``raise``/``assert`` is
+  exempt.
+* **PERF005** — ``isinstance``/``getattr``/``hasattr``/``setattr``
+  dispatch inside the sweep; resolve the polymorphism once at build
+  time instead.
+* **PERF006** — telemetry/sanitizer access not behind the established
+  ``_telemetry = None`` / ``_sanitizer = None`` zero-cost guard
+  contract (``if x is not None: x.emit(...)``) — unguarded observation
+  taxes every cycle even with observation off.
+
+Findings carry line-independent fingerprints
+(``RULE|file|qualname|detail``) so ``--baseline`` survives unrelated
+edits, and honour inline ``# simcheck: disable=PERF00x`` comments on
+the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint import Finding, _parse_disables
+from .hotpath import HotFunction, HotGraph
+
+#: Constructor names whose call allocates a fresh container.
+_ALLOC_CALLS = frozenset({
+    "list", "dict", "set", "tuple", "frozenset", "deque", "bytearray",
+    "defaultdict", "Counter", "OrderedDict",
+})
+
+#: Builtins whose call is dynamic dispatch / reflection.
+_DISPATCH_CALLS = frozenset({"isinstance", "getattr", "hasattr", "setattr"})
+
+#: Name fragments identifying the observation plane (PERF006).
+_OBSERVER_FRAGMENTS = ("telemetry", "sanitiz", "tracer")
+
+
+def _chain_text(expr: ast.expr) -> Optional[str]:
+    """``self.cfg.dvfs`` -> "self.cfg.dvfs"; None for non-pure chains."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_observer_name(text: str) -> bool:
+    lowered = text.lower()
+    return any(frag in lowered for frag in _OBSERVER_FRAGMENTS)
+
+
+def _snippet(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on real ASTs
+        text = type(node).__name__
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class _Occurrence:
+    __slots__ = ("node", "loop_id", "error_path", "guards")
+
+    def __init__(
+        self,
+        node: ast.AST,
+        loop_id: Optional[int],
+        error_path: bool,
+        guards: Tuple[str, ...],
+    ) -> None:
+        self.node = node
+        self.loop_id = loop_id            # innermost enclosing loop, or None
+        self.error_path = error_path      # inside raise/assert
+        self.guards = guards              # chains proven non-None here
+
+
+class _HotScan(ast.NodeVisitor):
+    """One pass over a hot function collecting rule-relevant occurrences.
+
+    Tracks the innermost enclosing loop (container allocations and
+    1-segment chains only matter *per iteration*), whether we are on an
+    error path, and which attribute chains the enclosing ``if`` tests
+    proved non-None (the PERF006 guard contract).
+    """
+
+    def __init__(self, scan_stmts: List[ast.stmt]) -> None:
+        self.allocs: List[_Occurrence] = []
+        self.chains: List[Tuple[str, _Occurrence]] = []
+        self.closures: List[_Occurrence] = []
+        self.formats: List[_Occurrence] = []
+        self.dispatch: List[Tuple[str, _Occurrence]] = []
+        self.observers: List[Tuple[str, _Occurrence]] = []
+        self._loops: List[int] = []
+        self._next_loop = 0
+        self._error_depth = 0
+        self._guards: List[str] = []
+        for stmt in scan_stmts:
+            self.visit(stmt)
+
+    # -- context helpers ----------------------------------------------------
+
+    def _occ(self, node: ast.AST) -> _Occurrence:
+        return _Occurrence(
+            node,
+            self._loops[-1] if self._loops else None,
+            self._error_depth > 0,
+            tuple(self._guards),
+        )
+
+    def _enter_loop(self) -> int:
+        gid = self._next_loop
+        self._next_loop += 1
+        self._loops.append(gid)
+        return gid
+
+    # -- statements ---------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        # The iterable is evaluated once per loop, not per iteration.
+        self.visit(node.iter)
+        self._enter_loop()
+        self.visit(node.target)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loops.pop()
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._enter_loop()
+        self.visit(node.test)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loops.pop()
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self._error_depth += 1
+        self.generic_visit(node)
+        self._error_depth -= 1
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._error_depth += 1
+        self.generic_visit(node)
+        self._error_depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        guards = self._guard_chains(node.test)
+        self._guards.extend(guards)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self._guards[len(self._guards) - len(guards):]
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    @staticmethod
+    def _guard_chains(test: ast.expr) -> List[str]:
+        """Chains proven non-None when ``test`` is true."""
+        out: List[str] = []
+
+        def collect(expr: ast.expr) -> None:
+            if isinstance(expr, ast.BoolOp) and isinstance(expr.op, ast.And):
+                for value in expr.values:
+                    collect(value)
+                return
+            if (
+                isinstance(expr, ast.Compare)
+                and len(expr.ops) == 1
+                and isinstance(expr.ops[0], ast.IsNot)
+                and isinstance(expr.comparators[0], ast.Constant)
+                and expr.comparators[0].value is None
+            ):
+                expr = expr.left
+            chain = _chain_text(expr)
+            if chain is not None:
+                out.append(chain)
+
+        collect(test)
+        return out
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.closures.append(self._occ(node))
+        # Nested-def bodies run when *called*; scanning them here would
+        # double-count against the enclosing hot function.
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.closures.append(self._occ(node))
+
+    # -- expressions --------------------------------------------------------
+
+    def visit_List(self, node: ast.List) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.allocs.append(self._occ(node))
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self.allocs.append(self._occ(node))
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self.allocs.append(self._occ(node))
+        self.generic_visit(node)
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and self._loops
+            and node.elts
+            and not all(isinstance(e, ast.Constant) for e in node.elts)
+        ):
+            self.allocs.append(self._occ(node))
+        self.generic_visit(node)
+
+    def _comp(self, node: ast.expr) -> None:
+        self._enter_loop()
+        self.allocs.append(self._occ(node))
+        self.generic_visit(node)
+        self._loops.pop()
+
+    visit_ListComp = _comp
+    visit_SetComp = _comp
+    visit_DictComp = _comp
+    visit_GeneratorExp = _comp
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        if any(isinstance(v, ast.FormattedValue) for v in node.values):
+            self.formats.append(self._occ(node))
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Mod) and isinstance(node.left, ast.Constant) \
+                and isinstance(node.left.value, str):
+            self.formats.append(self._occ(node))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _ALLOC_CALLS:
+                self.allocs.append(self._occ(node))
+            elif func.id in _DISPATCH_CALLS:
+                self.dispatch.append((func.id, self._occ(node)))
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "format" and isinstance(func.value, ast.Constant) \
+                    and isinstance(func.value.value, str):
+                self.formats.append(self._occ(node))
+            chain = _chain_text(func.value)
+            if chain is not None and _is_observer_name(chain):
+                self.observers.append((chain, self._occ(node)))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            chain = _chain_text(node)
+            if chain is not None:
+                self.chains.append((chain, self._occ(node)))
+                # The chain covers its sub-chains; don't re-walk the base.
+                for child in ast.walk(node):
+                    if isinstance(child, (ast.Lambda, ast.Call)):
+                        self.visit(child)
+                return
+        self.generic_visit(node)
+
+
+def count_allocations(hot: HotFunction) -> int:
+    """Raw PERF001 site count for the report (ignores disables/baseline)."""
+    scan = _HotScan(_scan_stmts(hot))
+    return len([o for o in scan.allocs if not o.error_path])
+
+
+def _scan_stmts(hot: HotFunction) -> List[ast.stmt]:
+    """The driver is hot only inside its cycle loop; others entirely."""
+    if hot.is_driver and hot.loop is not None:
+        return list(hot.loop.body)
+    return list(hot.fn.body)
+
+
+def _alloc_kind(node: ast.AST) -> str:
+    return {
+        ast.List: "list display", ast.Dict: "dict display",
+        ast.Set: "set display", ast.Tuple: "tuple display",
+        ast.ListComp: "list comprehension", ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+        ast.GeneratorExp: "generator expression",
+        ast.Call: "constructor call",
+    }.get(type(node), "allocation")
+
+
+def _finding(
+    hot: HotFunction,
+    node: ast.AST,
+    rule_id: str,
+    message: str,
+    detail: str,
+) -> Finding:
+    return Finding(
+        path=hot.relpath,
+        line=getattr(node, "lineno", hot.fn.lineno),
+        col=getattr(node, "col_offset", 0),
+        rule_id=rule_id,
+        message=f"[{hot.qualname}] {message}",
+        fingerprint=f"{rule_id}|{hot.relpath}|{hot.qualname}|{detail}",
+    )
+
+
+def _check_function(hot: HotFunction) -> Iterator[Finding]:
+    scan = _HotScan(_scan_stmts(hot))
+
+    # PERF001 — identical sites merge on fingerprint; first site reported.
+    seen_allocs: Dict[str, Tuple[ast.AST, int]] = {}
+    for occ in scan.allocs:
+        if occ.error_path:
+            continue
+        detail = f"{_alloc_kind(occ.node)}:{_snippet(occ.node)}"
+        node, count = seen_allocs.get(detail, (occ.node, 0))
+        seen_allocs[detail] = (node, count + 1)
+    for detail, (node, count) in seen_allocs.items():
+        times = f" ({count} sites)" if count > 1 else ""
+        yield _finding(
+            hot, node, "PERF001",
+            f"{_alloc_kind(node)} `{_snippet(node)}` allocates every "
+            f"cycle{times}; build once outside the sweep and reuse",
+            detail,
+        )
+
+    # PERF002 — repeated attribute chains.
+    by_chain: Dict[str, List[_Occurrence]] = {}
+    for chain, occ in scan.chains:
+        by_chain.setdefault(chain, []).append(occ)
+    for chain, occs in by_chain.items():
+        segments = chain.count(".")
+        in_loop = [o for o in occs if o.loop_id is not None]
+        if segments >= 2:
+            hit = bool(in_loop) or len(occs) >= 2
+        elif segments == 1:
+            per_loop: Dict[int, int] = {}
+            for o in in_loop:
+                per_loop[o.loop_id] = per_loop.get(o.loop_id, 0) + 1
+            hit = any(n >= 2 for n in per_loop.values())
+        else:
+            hit = False
+        if not hit:
+            continue
+        site = min(occs, key=lambda o: getattr(o.node, "lineno", 0))
+        yield _finding(
+            hot, site.node, "PERF002",
+            f"attribute chain `{chain}` is loaded {len(occs)} time(s) per "
+            "cycle; hoist it to a local outside the sweep",
+            chain,
+        )
+
+    # PERF003 — closures.
+    for occ in scan.closures:
+        kind = "lambda" if isinstance(occ.node, ast.Lambda) else \
+            f"nested function `{occ.node.name}`"
+        yield _finding(
+            hot, occ.node, "PERF003",
+            f"{kind} is created every cycle; define it once at module or "
+            "construction scope",
+            f"closure:{_snippet(occ.node)}",
+        )
+
+    # PERF004 — string formatting off the error path.
+    for occ in scan.formats:
+        if occ.error_path:
+            continue
+        yield _finding(
+            hot, occ.node, "PERF004",
+            f"string formatting `{_snippet(occ.node)}` runs every cycle; "
+            "format lazily or off the hot path",
+            f"format:{_snippet(occ.node)}",
+        )
+
+    # PERF005 — dynamic dispatch.
+    for name, occ in scan.dispatch:
+        yield _finding(
+            hot, occ.node, "PERF005",
+            f"`{name}` dispatch `{_snippet(occ.node)}` runs every cycle; "
+            "resolve the polymorphism once at construction time",
+            f"{name}:{_snippet(occ.node)}",
+        )
+
+    # PERF006 — unguarded observer calls.
+    for chain, occ in scan.observers:
+        if any(chain == g or chain.startswith(g + ".") for g in occ.guards):
+            continue
+        yield _finding(
+            hot, occ.node, "PERF006",
+            f"observer call `{_snippet(occ.node)}` is not behind the "
+            f"zero-cost guard contract; wrap it in "
+            f"`if {chain} is not None:` (see DESIGN §8)",
+            f"observer:{chain}.{occ.node.func.attr}",
+        )
+
+
+def check_perf(graph: HotGraph) -> List[Finding]:
+    """Run PERF001–PERF006 over every hot function, honouring inline
+    ``# simcheck: disable=`` comments."""
+    findings: List[Finding] = []
+    disables: Dict[str, Dict[int, Set[str]]] = {}
+    for hot in graph.sorted_functions():
+        if hot.relpath not in disables:
+            try:
+                source = hot.module.path.read_text()
+            except OSError:
+                source = ""
+            disables[hot.relpath] = _parse_disables(source)
+        file_disables = disables[hot.relpath]
+        for finding in _check_function(hot):
+            rules = file_disables.get(finding.line, set())
+            if finding.rule_id in rules or "ALL" in rules:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return findings

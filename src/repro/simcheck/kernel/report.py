@@ -1,0 +1,122 @@
+"""kernel-report.json construction and the human table view.
+
+The report is the gating artifact for the SoA rewrite: a field may move
+into the batched kernel only if it is listed here as ``per_core``, and
+every ``cross_core`` entry is a serialization point the new kernel must
+model explicitly.  Output is deterministic (sorted keys, sorted lists,
+no timestamps) so two runs over the same tree produce identical bytes
+and the file can live under version control or CI artifact diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..lint import Finding
+from .coupling import FieldClass
+from .hotpath import HotGraph
+from .perf import count_allocations
+
+REPORT_VERSION = 1
+
+
+def build_report(
+    graph: HotGraph,
+    fields: List[FieldClass],
+    edges: List[Dict[str, object]],
+    findings: List[Finding],
+) -> Dict[str, object]:
+    counts = {"per_core": 0, "cross_core": 0, "global": 0, "unknown": 0}
+    for f in fields:
+        counts[f.classification] = counts.get(f.classification, 0) + 1
+    per_rule: Dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "driver": graph.driver,
+        "summary": {
+            "hot_functions": len(graph.functions),
+            "fields": counts,
+            "perf_findings": dict(sorted(per_rule.items())),
+        },
+        "hot_functions": [
+            {
+                "qualname": hot.qualname,
+                "file": hot.relpath,
+                "line": hot.fn.lineno,
+                "is_driver": hot.is_driver,
+                "allocations": count_allocations(hot),
+                "callees": sorted(hot.callees),
+            }
+            for hot in graph.sorted_functions()
+        ],
+        "fields": [
+            {
+                "field": f.key,
+                "class": f.owner,
+                "attr": f.attr,
+                "classification": f.classification,
+                "reason": f.reason,
+                "writers": f.writers,
+                "readers": f.readers,
+                "where": f.where,
+            }
+            for f in fields
+        ],
+        "coupling_edges": edges,
+    }
+
+
+def render_json(report: Dict[str, object]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_table(report: Dict[str, object]) -> str:
+    """Human view: field taxonomy first, then the hot-function ranking."""
+    lines: List[str] = []
+    summary = report["summary"]
+    counts = summary["fields"]
+    lines.append(f"driver: {report['driver']}")
+    lines.append(
+        f"hot functions: {summary['hot_functions']}   "
+        f"fields: {counts['per_core']} per-core, "
+        f"{counts['cross_core']} cross-core, "
+        f"{counts['global']} global, {counts['unknown']} unknown"
+    )
+    lines.append("")
+
+    rows = [
+        (f["classification"], f["field"], f["reason"])
+        for f in report["fields"]
+    ]
+    if rows:
+        width_cls = max(len(r[0]) for r in rows)
+        width_key = max(len(r[1]) for r in rows)
+        header = (
+            f"{'CLASS':<{width_cls}}  {'FIELD':<{width_key}}  REASON"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        order = {"cross_core": 0, "per_core": 1, "global": 2, "unknown": -1}
+        for cls_kind, key, reason in sorted(
+            rows, key=lambda r: (order.get(r[0], 3), r[1])
+        ):
+            lines.append(f"{cls_kind:<{width_cls}}  {key:<{width_key}}  {reason}")
+        lines.append("")
+
+    hot = sorted(
+        report["hot_functions"],
+        key=lambda h: (-h["allocations"], h["qualname"]),
+    )
+    if hot:
+        width = max(len(h["qualname"]) for h in hot)
+        lines.append(f"{'HOT FUNCTION':<{width}}  ALLOC/CYCLE  FILE")
+        for h in hot:
+            marker = " (driver loop)" if h["is_driver"] else ""
+            lines.append(
+                f"{h['qualname']:<{width}}  {h['allocations']:>11}  "
+                f"{h['file']}:{h['line']}{marker}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,76 @@
+"""Byte-identical SimResult regression guard for kernel perf fixes.
+
+The simcheck-kernel PERF findings fixed in ``sim/cmp.py``, ``budget/ptb.py``
+and ``budget/controller.py`` (hoisted attribute chains, reused scratch
+buffers, incremental pledge accounting, module-constant technique tuples)
+are pure mechanical rewrites: they must not perturb a single bit of
+simulator output.  These hashes were captured on the seed tree *before*
+any of those edits; if a future "perf-neutral" refactor changes them, it
+was not neutral.
+
+The program is small but exercises every subsystem the rewrites touched:
+compute phases (DVFS + 2-level throttles), a contended lock (spin power),
+barriers (sync domain / priority boost) and all three PTB distribution
+policies (latency pipe, pledge escrow, grant bookkeeping).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.config import CMPConfig
+from repro.sim.cmp import run_simulation
+from repro.trace.phases import (
+    BarrierPhase,
+    ComputePhase,
+    LockPhase,
+    ParallelProgram,
+    ThreadProgram,
+)
+
+# sha256 of pickle.dumps(result, protocol=4) on the seed tree.
+SEED_HASHES = {
+    "toall": "32b34c995feee5f1429545176d25fc69ee01b51fa18033947b08713287388b80",
+    "toone": "d5d6175e77b86a841172db0e04b3e3314b500ac3cb8961d743d404aad7554c6e",
+    "dynamic": "fcfacc684dd4e3e37908d1db2a9aa4a114a06a1c29f1bbe66ffa67da90e4948c",
+}
+SEED_CYCLES = 1995
+
+
+def _make_program(num_threads: int, work: int) -> ParallelProgram:
+    threads = []
+    for t in range(num_threads):
+        phases = []
+        for b in range(2):
+            phases.append(
+                ComputePhase(instructions=work, footprint_lines=512)
+            )
+            phases.append(
+                LockPhase(
+                    lock_id=0,
+                    critical_section=ComputePhase(
+                        instructions=40, footprint_lines=512
+                    ),
+                )
+            )
+            phases.append(BarrierPhase(b))
+        threads.append(ThreadProgram(thread_id=t, phases=tuple(phases)))
+    return ParallelProgram(name="kernel-regression", threads=tuple(threads))
+
+
+@pytest.mark.parametrize("policy", sorted(SEED_HASHES))
+def test_simresult_pickle_identical_to_seed(policy: str) -> None:
+    cfg = CMPConfig(num_cores=2)
+    result = run_simulation(
+        cfg,
+        _make_program(2, 600),
+        technique="ptb",
+        ptb_policy=policy,
+        max_cycles=40_000,
+    )
+    assert result.cycles == SEED_CYCLES
+    blob = pickle.dumps(result, protocol=4)
+    assert hashlib.sha256(blob).hexdigest() == SEED_HASHES[policy]
