@@ -67,7 +67,11 @@ from ..workloads import build_program
 #: Bump when any model change invalidates previously cached results.
 #: v8: PTBController charges donors for every in-flight pledge (the
 #: full balancer pipe), changing every PTB ``SimResult``.
-CACHE_VERSION = 8
+#: v9: the key carries a digest of the fully-resolved ``CMPConfig``
+#: (see :func:`config_digest`), so a changed config default can never
+#: silently alias an old entry again.  Results are unchanged; only the
+#: key layout is.
+CACHE_VERSION = 9
 
 #: Budget fraction used throughout the paper's evaluation (Section IV).
 DEFAULT_BUDGET_FRACTION = 0.5
@@ -163,11 +167,34 @@ def _store_entry(path: Path, result: SimResult) -> None:
         raise
 
 
-def _simulate(recipe: Recipe, scale, max_cycles: int, seed: int) -> SimResult:
-    """Build and run one simulation from scratch (deterministic in seed)."""
+def _resolved_config(recipe: Recipe) -> CMPConfig:
+    """The fully-resolved configuration a recipe simulates under.
+
+    Single source of truth shared by :func:`_simulate` (which runs it)
+    and :func:`_cache_key` (which digests it): every config field —
+    explicit or defaulted — that can reach a cached ``SimResult`` is
+    captured by the same object the key is derived from.
+    """
     cfg = CMPConfig(num_cores=recipe.cores)
     if recipe.relax:
         cfg = cfg.with_ptb(relax_threshold=recipe.relax)
+    return cfg
+
+
+def config_digest(cfg: CMPConfig) -> str:
+    """Stable short digest of a fully-resolved configuration.
+
+    ``CMPConfig`` is a frozen dataclass tree of ints, floats, strings
+    and tuples, so its ``repr`` is canonical and process-stable; the
+    digest therefore changes whenever *any* nested field does —
+    including defaults no ``Recipe`` field controls.
+    """
+    return hashlib.sha256(repr(cfg).encode()).hexdigest()[:16]
+
+
+def _simulate(recipe: Recipe, scale, max_cycles: int, seed: int) -> SimResult:
+    """Build and run one simulation from scratch (deterministic in seed)."""
+    cfg = _resolved_config(recipe)
     program = build_program(recipe.benchmark, recipe.cores, scale=scale,
                             seed=seed)
     sim = CMPSimulator(
@@ -207,7 +234,7 @@ def _cache_key(recipe: Recipe, scale, max_cycles: int, seed: int) -> tuple:
     return (
         CACHE_VERSION, recipe.benchmark, recipe.cores, recipe.technique,
         recipe.policy, recipe.relax, recipe.budget_fraction, str(scale),
-        max_cycles, seed,
+        max_cycles, seed, config_digest(_resolved_config(recipe)),
     )
 
 

@@ -5,9 +5,14 @@ trustworthy as the simulator's bookkeeping: a lost power token, a MOESI
 state violation or a nondeterministic iteration order silently corrupts
 every figure.  This package provides two independent lines of defence:
 
-* **Static pass** (:mod:`repro.simcheck.lint`, :mod:`repro.simcheck.rules`)
-  — an ``ast``-based linter with simulator-specific rules (SIM001-SIM006)
-  run over ``src/repro`` in CI: ``python -m repro.simcheck lint src/repro``.
+* **Static passes** — an ``ast``-based linter with simulator-specific
+  rules (SIM001-SIM006; :mod:`repro.simcheck.lint`,
+  :mod:`repro.simcheck.rules`) plus three whole-program analyses
+  sharing one discovery/effect engine: tick-order hazards and units
+  (:mod:`repro.simcheck.flow`), hot-loop perf + coupling
+  (:mod:`repro.simcheck.kernel`), and cache-key soundness + worker
+  purity (:mod:`repro.simcheck.purity`).  All four gate CI:
+  ``python -m repro.simcheck {lint,flow,kernel,purity} src/repro``.
 
 * **Runtime sanitizers** (:mod:`repro.simcheck.sanitizers`) — opt-in
   cross-cutting invariant checks (token conservation, MOESI single-owner,

@@ -12,14 +12,20 @@ Subcommands:
   per-core / cross-core / global field-coupling report that gates the
   numpy SoA rewrite (``--report kernel-report.json``), gated against
   ``.simcheck-kernel-baseline.json``.
+* ``purity PATH``   — cache-key soundness (KEY rules) and worker-purity
+  analysis (PURE rules) rooted at the experiment runner's cache, gated
+  against ``.simcheck-purity-baseline.json``.
 * ``smoke``         — run a short 2-core simulation under every PTB
   policy with all runtime sanitizers enabled; exit non-zero on any
   :class:`SanitizerViolation` (CI gate for hook regressions).
 
-``lint``, ``flow`` and ``kernel`` accept ``--format json`` (one JSON
-object ``{"tool", "findings": [...], "count"}``) and ``--format sarif``
-(SARIF 2.1.0 for code-scanning annotations); ``kernel`` additionally
-accepts ``--format table`` for the human coupling view.
+All four analysis subcommands accept ``--format json`` (one JSON object
+``{"tool", "findings": [...], "count"}``) and ``--format sarif`` (SARIF
+2.1.0 for code-scanning annotations); ``kernel`` and ``purity``
+additionally accept ``--format table`` for the human report view.  All
+four share one baseline surface — ``--baseline FILE`` /
+``--write-baseline`` / ``--prune-baseline`` — so CI fails only on
+regressions and every accepted finding carries a justification.
 """
 
 from __future__ import annotations
@@ -67,6 +73,81 @@ def _emit_findings(
             print(finding.render())
 
 
+def _add_baseline_args(sub: argparse.ArgumentParser, example: str) -> None:
+    """The baseline flag triple shared by lint/flow/kernel/purity."""
+    sub.add_argument(
+        "--baseline",
+        help="baseline JSON of accepted findings, fail only on regressions "
+        f"(e.g. {example})",
+    )
+    sub.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    sub.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries that no longer fire and report them",
+    )
+
+
+def _gate_with_baseline(
+    tool: str, args: argparse.Namespace, findings: Sequence[Finding]
+):
+    """Baseline plumbing shared by all four passes.
+
+    Loads ``--baseline``, services ``--write-baseline`` /
+    ``--prune-baseline``, and otherwise splits findings against the
+    baseline.  Returns ``(handled, new, suppressed, stale)`` where
+    ``handled`` is an exit code when the command is already finished
+    (write/prune/load error) and None when the caller should emit
+    ``new`` and gate on it.
+    """
+    from .flow import apply_baseline, load_baseline, write_baseline
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = {}
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"simcheck {tool}: {exc}", file=sys.stderr)
+            return 2, [], [], []
+    for flag in ("prune_baseline", "write_baseline"):
+        if getattr(args, flag) and baseline_path is None:
+            print(
+                f"simcheck {tool}: --{flag.replace('_', '-')} requires "
+                "--baseline FILE",
+                file=sys.stderr,
+            )
+            return 2, [], [], []
+    if args.prune_baseline:
+        return _prune_baseline(tool, baseline_path, findings), [], [], []
+    if args.write_baseline:
+        count = write_baseline(baseline_path, findings, baseline)
+        print(
+            f"simcheck {tool}: wrote {count} baseline entries to "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        return 0, [], [], []
+    new, suppressed, stale = apply_baseline(findings, baseline)
+    return None, new, suppressed, stale
+
+
+def _report_baseline_noise(tool: str, suppressed, stale) -> None:
+    if suppressed:
+        print(
+            f"simcheck {tool}: {len(suppressed)} baselined finding(s) "
+            "suppressed",
+            file=sys.stderr,
+        )
+    for fp in stale:
+        print(
+            f"simcheck {tool}: stale baseline entry (no longer fires): {fp}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in iter_rules():
@@ -85,20 +166,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (OSError, SyntaxError) as exc:
         print(f"simcheck lint: {exc}", file=sys.stderr)
         return 2
-    _emit_findings("lint", findings, args.format)
-    if findings:
-        print(f"simcheck: {len(findings)} finding(s)", file=sys.stderr)
+    handled, new, suppressed, stale = _gate_with_baseline(
+        "lint", args, findings
+    )
+    if handled is not None:
+        return handled
+    _emit_findings("lint", new, args.format)
+    _report_baseline_noise("lint", suppressed, stale)
+    if new:
+        print(f"simcheck: {len(new)} finding(s)", file=sys.stderr)
         return 1
     return 0
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
-    from .flow import (
-        analyze_package,
-        apply_baseline,
-        load_baseline,
-        write_baseline,
-    )
+    from .flow import analyze_package
 
     root = Path(args.path)
     if not root.is_dir():
@@ -114,52 +196,13 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         for note in notes:
             print(note, file=sys.stderr)
 
-    baseline_path = Path(args.baseline) if args.baseline else None
-    baseline = {}
-    if baseline_path is not None:
-        try:
-            baseline = load_baseline(baseline_path)
-        except (ValueError, OSError, json.JSONDecodeError) as exc:
-            print(f"simcheck flow: {exc}", file=sys.stderr)
-            return 2
-
-    if args.prune_baseline:
-        if baseline_path is None:
-            print(
-                "simcheck flow: --prune-baseline requires --baseline FILE",
-                file=sys.stderr,
-            )
-            return 2
-        return _prune_baseline("flow", baseline_path, findings)
-
-    if args.write_baseline:
-        if baseline_path is None:
-            print(
-                "simcheck flow: --write-baseline requires --baseline FILE",
-                file=sys.stderr,
-            )
-            return 2
-        count = write_baseline(baseline_path, findings, baseline)
-        print(
-            f"simcheck flow: wrote {count} baseline entries to "
-            f"{baseline_path}",
-            file=sys.stderr,
-        )
-        return 0
-
-    new, suppressed, stale = apply_baseline(findings, baseline)
+    handled, new, suppressed, stale = _gate_with_baseline(
+        "flow", args, findings
+    )
+    if handled is not None:
+        return handled
     _emit_findings("flow", new, args.format)
-    if suppressed:
-        print(
-            f"simcheck flow: {len(suppressed)} baselined finding(s) "
-            "suppressed",
-            file=sys.stderr,
-        )
-    for fp in stale:
-        print(
-            f"simcheck flow: stale baseline entry (no longer fires): {fp}",
-            file=sys.stderr,
-        )
+    _report_baseline_noise("flow", suppressed, stale)
     if new:
         print(
             f"simcheck flow: {len(new)} new finding(s) — fix them or "
@@ -217,7 +260,6 @@ def _prune_baseline(
 
 
 def _cmd_kernel(args: argparse.Namespace) -> int:
-    from .flow import apply_baseline, load_baseline, write_baseline
     from .kernel import analyze_kernel, render_json, render_table
 
     root = Path(args.path)
@@ -243,57 +285,18 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
             f"simcheck kernel: wrote report to {args.report}", file=sys.stderr
         )
 
-    baseline_path = Path(args.baseline) if args.baseline else None
-    baseline = {}
-    if baseline_path is not None:
-        try:
-            baseline = load_baseline(baseline_path)
-        except (ValueError, OSError, json.JSONDecodeError) as exc:
-            print(f"simcheck kernel: {exc}", file=sys.stderr)
-            return 2
-
-    if args.prune_baseline:
-        if baseline_path is None:
-            print(
-                "simcheck kernel: --prune-baseline requires --baseline FILE",
-                file=sys.stderr,
-            )
-            return 2
-        return _prune_baseline("kernel", baseline_path, analysis.findings)
-
-    if args.write_baseline:
-        if baseline_path is None:
-            print(
-                "simcheck kernel: --write-baseline requires --baseline FILE",
-                file=sys.stderr,
-            )
-            return 2
-        count = write_baseline(baseline_path, analysis.findings, baseline)
-        print(
-            f"simcheck kernel: wrote {count} baseline entries to "
-            f"{baseline_path}",
-            file=sys.stderr,
-        )
-        return 0
-
-    new, suppressed, stale = apply_baseline(analysis.findings, baseline)
+    handled, new, suppressed, stale = _gate_with_baseline(
+        "kernel", args, analysis.findings
+    )
+    if handled is not None:
+        return handled
     if args.format == "table":
         print(render_table(analysis.report), end="")
         for finding in new:
             print(finding.render())
     else:
         _emit_findings("kernel", new, args.format)
-    if suppressed:
-        print(
-            f"simcheck kernel: {len(suppressed)} baselined finding(s) "
-            "suppressed",
-            file=sys.stderr,
-        )
-    for fp in stale:
-        print(
-            f"simcheck kernel: stale baseline entry (no longer fires): {fp}",
-            file=sys.stderr,
-        )
+    _report_baseline_noise("kernel", suppressed, stale)
 
     status = 0
     unknown = analysis.unknown_fields
@@ -318,6 +321,54 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
         )
         status = 1
     return status
+
+
+def _cmd_purity(args: argparse.Namespace) -> int:
+    from .purity import analyze_purity
+    from .purity import render_table as render_purity_table
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"simcheck purity: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_purity(root)
+    if args.verbose:
+        for note in analysis.notes:
+            print(note, file=sys.stderr)
+    if analysis.model is None:
+        print(
+            "simcheck purity: no cache-key builder found; nothing to analyze",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(analysis.report, indent=2) + "\n"
+        )
+        print(
+            f"simcheck purity: wrote report to {args.report}", file=sys.stderr
+        )
+
+    handled, new, suppressed, stale = _gate_with_baseline(
+        "purity", args, analysis.findings
+    )
+    if handled is not None:
+        return handled
+    if args.format == "table":
+        print(render_purity_table(analysis.report, new), end="")
+    else:
+        _emit_findings("purity", new, args.format)
+    _report_baseline_noise("purity", suppressed, stale)
+    if new:
+        print(
+            f"simcheck purity: {len(new)} new finding(s) — fix them or "
+            "baseline with a justification",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
@@ -406,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
+    _add_baseline_args(lint, ".simcheck-lint-baseline.json")
     lint.set_defaults(func=_cmd_lint)
 
     flow = sub.add_parser(
@@ -413,18 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole-program tick-order hazard + unit/dimension analysis",
     )
     flow.add_argument("path", help="package root to analyze (e.g. src/repro)")
-    flow.add_argument(
-        "--baseline",
-        help="baseline JSON of accepted findings (fail only on regressions)",
-    )
-    flow.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from current findings and exit 0",
-    )
-    flow.add_argument(
-        "--prune-baseline", action="store_true",
-        help="drop baseline entries that no longer fire and report them",
-    )
+    _add_baseline_args(flow, ".simcheck-baseline.json")
     flow.add_argument(
         "--no-hazards", action="store_true", help="skip the FLOW pass"
     )
@@ -448,19 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     kernel.add_argument(
         "path", help="package root to analyze (e.g. src/repro)"
     )
-    kernel.add_argument(
-        "--baseline",
-        help="baseline JSON of accepted PERF findings "
-        "(e.g. .simcheck-kernel-baseline.json)",
-    )
-    kernel.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from current findings and exit 0",
-    )
-    kernel.add_argument(
-        "--prune-baseline", action="store_true",
-        help="drop baseline entries that no longer fire and report them",
-    )
+    _add_baseline_args(kernel, ".simcheck-kernel-baseline.json")
     kernel.add_argument(
         "--report", metavar="FILE",
         help="write the machine-readable kernel report (kernel-report.json)",
@@ -475,6 +504,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print analysis notes (driver, hot-function count)",
     )
     kernel.set_defaults(func=_cmd_kernel)
+
+    purity = sub.add_parser(
+        "purity",
+        help="cache-key soundness (KEY rules) + worker purity (PURE rules)",
+    )
+    purity.add_argument(
+        "path", help="package root to analyze (e.g. src/repro)"
+    )
+    _add_baseline_args(purity, ".simcheck-purity-baseline.json")
+    purity.add_argument(
+        "--report", metavar="FILE",
+        help="write the machine-readable purity report (purity-report.json)",
+    )
+    purity.add_argument(
+        "--format", choices=("text", "json", "sarif", "table"),
+        default="text",
+        help="finding output format; 'table' renders the coverage report",
+    )
+    purity.add_argument(
+        "--verbose", action="store_true",
+        help="print analysis notes (cache module, reachable-function count)",
+    )
+    purity.set_defaults(func=_cmd_purity)
 
     smoke = sub.add_parser(
         "smoke", help="short 2-core sim under every policy with sanitizers on"

@@ -1,0 +1,700 @@
+"""Cache-key soundness analysis (KEY001/KEY002).
+
+The experiment runner memoises ``SimResult`` pickles on disk, keyed by
+``_cache_key``.  The service layer (ROADMAP item 2) coalesces tenants
+on that key and the perf CI (item 4) trusts cached cells, so the key
+must be *complete*: every input that can change a cached result must
+change the key.  This module proves that statically:
+
+* **Discovery** — find the cache module (the one defining
+  ``_cache_key``), the simulate entry (``_simulate``), the ``Recipe``
+  class (first-parameter annotation), the configuration dataclass
+  constructed on the simulate path, and the result class (return
+  annotation).
+* **Key coverage** — symbolically evaluate ``_cache_key`` (following
+  same-module helper calls) into the set of *input atoms* the key
+  depends on: ``recipe:<field>``, ``param:<name>`` and ``config:*``
+  (the latter when any key component serialises a whole fully-resolved
+  config object via ``repr``/``str``/``astuple``/``asdict``).
+* **KEY001** — a result-affecting input (a ``Recipe`` field, a
+  simulate parameter, or a config field tree) with no covering atom.
+  A config leaf set directly from a covered recipe field in the
+  constructor call (``Config(num_cores=recipe.cores)``) counts as
+  covered without a digest.
+* **KEY002** — a key component whose ``repr`` is not process-stable:
+  set displays (hash-iteration order), ``hash()`` (``PYTHONHASHSEED``),
+  ``id()`` (addresses), or instances of classes with neither a
+  ``__repr__`` nor dataclass/NamedTuple auto-repr.
+
+Everything is a *may* analysis over the flow pass's
+:class:`~repro.simcheck.flow.model.PackageIndex`; unresolvable shapes
+degrade to "not covered" for KEY001 (fail loud) and "not provably
+unstable" for KEY002 (fail quiet).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lint import Finding, _has_dataclass_decorator
+from ..flow.model import ClassInfo, ModuleInfo, PackageIndex, annotation_heads
+
+#: Function names recognised as the cache-key builder / simulate entry /
+#: process-pool worker, in preference order.
+KEY_FN_NAMES = ("_cache_key", "cache_key")
+SIMULATE_NAMES = ("_simulate", "simulate")
+WORKER_NAMES = ("_worker", "worker", "_simulate", "simulate")
+
+#: Builtins/helpers that serialise an object's full field tree into the
+#: key (dataclass ``repr`` is canonical and recursive).
+SERIALIZERS = frozenset({"repr", "str", "astuple", "asdict", "format"})
+
+#: Intra-module helper-call recursion bound for the key evaluator.
+MAX_KEY_DEPTH = 6
+
+
+@dataclass
+class CacheModel:
+    """Everything discovery learned about the cache under analysis."""
+
+    module: ModuleInfo
+    key_fn: ast.FunctionDef
+    simulate_fn: Optional[ast.FunctionDef] = None
+    worker_fns: List[ast.FunctionDef] = field(default_factory=list)
+    recipe_cls: Optional[ClassInfo] = None
+    config_cls: Optional[ClassInfo] = None
+    result_cls: Optional[ClassInfo] = None
+
+    @property
+    def relpath(self) -> str:
+        return self.module.relpath
+
+
+def find_cache_model(
+    index: PackageIndex,
+) -> Tuple[Optional[CacheModel], List[str]]:
+    """Locate the cache module and its cast of characters."""
+    notes: List[str] = []
+    module = key_fn = None
+    for name in KEY_FN_NAMES:
+        for mod in index.modules.values():
+            fn = mod.functions.get(name)
+            if fn is not None:
+                module, key_fn = mod, fn
+                break
+        if key_fn is not None:
+            break
+    if key_fn is None:
+        notes.append(
+            "purity: no cache-key builder found "
+            f"(looked for {'/'.join(KEY_FN_NAMES)}); nothing to analyze"
+        )
+        return None, notes
+    model = CacheModel(module=module, key_fn=key_fn)
+    notes.append(
+        f"purity: cache key {key_fn.name} ({module.relpath}:{key_fn.lineno})"
+    )
+
+    for name in SIMULATE_NAMES:
+        fn = module.functions.get(name)
+        if fn is not None:
+            model.simulate_fn = fn
+            break
+    seen: Set[str] = set()
+    for name in WORKER_NAMES:
+        fn = module.functions.get(name)
+        if fn is not None and fn.name not in seen:
+            seen.add(fn.name)
+            model.worker_fns.append(fn)
+
+    model.recipe_cls = _recipe_class(index, model)
+    if model.recipe_cls is not None:
+        notes.append(
+            f"purity: recipe class {model.recipe_cls.name} "
+            f"({len(recipe_fields(model.recipe_cls))} fields)"
+        )
+    model.config_cls = _config_class(index, model)
+    if model.config_cls is not None:
+        notes.append(
+            f"purity: config class {model.config_cls.name} "
+            f"({len(config_leaves(index, model.config_cls))} leaves)"
+        )
+    if model.simulate_fn is not None:
+        heads = [
+            h for h in annotation_heads(model.simulate_fn.returns)
+            if h in index.classes
+        ]
+        if heads:
+            model.result_cls = index.classes[heads[0]]
+            notes.append(f"purity: result class {model.result_cls.name}")
+    return model, notes
+
+
+def _recipe_class(
+    index: PackageIndex, model: CacheModel
+) -> Optional[ClassInfo]:
+    for fn in (model.key_fn, model.simulate_fn):
+        if fn is None or not fn.args.args:
+            continue
+        for head in annotation_heads(fn.args.args[0].annotation):
+            cls = index.classes.get(head)
+            if cls is not None:
+                return cls
+    return model.module.classes.get("Recipe")
+
+
+def _config_class(
+    index: PackageIndex, model: CacheModel
+) -> Optional[ClassInfo]:
+    """The config dataclass constructed on the simulate path (if any).
+
+    Searches the intra-module call closure of the simulate entry for a
+    constructor call of an index dataclass; with several candidates the
+    one with the most leaves wins (the root of the config tree).
+    """
+    if model.simulate_fn is None:
+        return None
+    best: Optional[Tuple[int, ClassInfo]] = None
+    for fn in _module_closure(model.module, model.simulate_fn):
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                continue
+            cls = index.classes.get(node.func.id)
+            if cls is None or not _has_dataclass_decorator(cls.node):
+                continue
+            n = len(config_leaves(index, cls))
+            if best is None or n > best[0]:
+                best = (n, cls)
+    return best[1] if best else None
+
+
+def _module_closure(
+    module: ModuleInfo, fn: ast.FunctionDef, depth: int = MAX_KEY_DEPTH
+) -> List[ast.FunctionDef]:
+    """``fn`` plus same-module functions transitively called from it."""
+    out: List[ast.FunctionDef] = []
+    seen: Set[str] = set()
+    queue = [(fn, 0)]
+    while queue:
+        cur, d = queue.pop(0)
+        if cur.name in seen:
+            continue
+        seen.add(cur.name)
+        out.append(cur)
+        if d >= depth:
+            continue
+        for node in ast.walk(cur):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                callee = module.functions.get(node.func.id)
+                if callee is not None:
+                    queue.append((callee, d + 1))
+    return out
+
+
+def recipe_fields(cls: ClassInfo) -> List[str]:
+    """Annotated field names of a Recipe NamedTuple/dataclass, in order."""
+    out: List[str] = []
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            out.append(stmt.target.id)
+    return out
+
+
+def config_leaves(
+    index: PackageIndex,
+    cls: ClassInfo,
+    prefix: str = "",
+    depth: int = 0,
+    seen: Optional[Set[str]] = None,
+) -> List[str]:
+    """Dotted leaf-field paths of a config dataclass tree."""
+    seen = seen or {cls.name}
+    leaves: List[str] = []
+    for stmt in cls.node.body:
+        if not (
+            isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        ):
+            continue
+        name = stmt.target.id
+        sub = None
+        for head in annotation_heads(stmt.annotation):
+            cand = index.classes.get(head)
+            if cand is not None and _has_dataclass_decorator(cand.node):
+                sub = cand
+                break
+        if sub is not None and depth < 4 and sub.name not in seen:
+            leaves.extend(
+                config_leaves(
+                    index, sub, f"{prefix}{name}.", depth + 1, seen | {sub.name}
+                )
+            )
+        else:
+            leaves.append(prefix + name)
+    return leaves
+
+
+def config_top_fields(cls: ClassInfo) -> List[str]:
+    return recipe_fields(cls)  # same shape: annotated class-body fields
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic key evaluation                                                     #
+# --------------------------------------------------------------------------- #
+
+
+class _RecipeVal:
+    """The recipe parameter (or the whole tuple spread into the key)."""
+
+
+class _ConfigVal:
+    def __init__(self, cls: ClassInfo) -> None:
+        self.cls = cls
+
+
+class _ParamVal:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class _KeyEval:
+    """Collects the input atoms a key expression depends on.
+
+    Atoms: ``recipe:<field>``, ``recipe:*``, ``param:<name>``,
+    ``config:*`` (whole-config serialisation), ``config:<path>``
+    (attribute chain into the config) and ``global:<name>`` (module
+    constants such as ``CACHE_VERSION`` — informational).
+    """
+
+    def __init__(self, index: PackageIndex, module: ModuleInfo) -> None:
+        self.index = index
+        self.module = module
+        self.atoms: Set[str] = set()
+
+    def eval_function(
+        self, fn: ast.FunctionDef, env: Dict[str, object], depth: int = 0
+    ) -> object:
+        """Evaluate a function body; return the symbolic return value."""
+        ret: object = None
+        for stmt in fn.body:
+            ret = self._exec(stmt, env, depth) or ret
+        return ret
+
+    def _exec(self, stmt: ast.stmt, env: Dict[str, object], depth: int):
+        if isinstance(stmt, ast.Return):
+            return self.eval(stmt.value, env, depth)
+        if isinstance(stmt, ast.Assign):
+            val = self.eval(stmt.value, env, depth)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = val
+            return None
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            val = self.eval(stmt.value, env, depth)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = val
+            return None
+        if isinstance(stmt, ast.If):
+            self.eval(stmt.test, env, depth)
+            ret = None
+            for branch in (stmt.body, stmt.orelse):
+                for sub in branch:
+                    ret = self._exec(sub, env, depth) or ret
+            return ret
+        if isinstance(stmt, (ast.Expr,)):
+            self.eval(stmt.value, env, depth)
+        return None
+
+    def eval(
+        self, expr: Optional[ast.expr], env: Dict[str, object], depth: int
+    ) -> object:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                val = env[expr.id]
+                if isinstance(val, _ParamVal):
+                    self.atoms.add(f"param:{val.name}")
+                elif isinstance(val, _RecipeVal):
+                    # Bare recipe in the key: the whole tuple is keyed.
+                    self.atoms.add("recipe:*")
+                elif isinstance(val, _ConfigVal):
+                    # A raw dataclass in the key is repr()'d by the
+                    # entry-path hash: full coverage.
+                    self.atoms.add("config:*")
+                return val
+            self.atoms.add(f"global:{expr.id}")
+            return None
+        if isinstance(expr, ast.Attribute):
+            return self._attr(expr, env, depth)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env, depth)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env, depth)
+        if isinstance(expr, ast.Constant):
+            return None
+        # Tuples, f-strings, subscripts, binops...: union of children.
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval(child, env, depth)
+        return None
+
+    def _attr(self, expr: ast.Attribute, env: Dict[str, object], depth: int):
+        base = expr.value
+        if isinstance(base, ast.Name) and isinstance(env.get(base.id), _RecipeVal):
+            self.atoms.add(f"recipe:{expr.attr}")
+            return None
+        if isinstance(base, ast.Name) and isinstance(env.get(base.id), _ConfigVal):
+            self.atoms.add(f"config:{expr.attr}")
+            return None
+        if isinstance(base, ast.Attribute):
+            # cfg.a.b — record the top config path segment.
+            inner = base.value
+            if isinstance(inner, ast.Name) and isinstance(
+                env.get(inner.id), _ConfigVal
+            ):
+                self.atoms.add(f"config:{base.attr}.{expr.attr}")
+                return None
+        self.eval(base, env, depth)
+        return None
+
+    def _call(self, call: ast.Call, env: Dict[str, object], depth: int):
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            cls = self.index.classes.get(name)
+            if cls is not None and _has_dataclass_decorator(cls.node):
+                self._eval_args(call, env, depth)
+                return _ConfigVal(cls)
+            if name in SERIALIZERS:
+                return self._serialize_args(call, env, depth)
+            callee = self.module.functions.get(name)
+            if callee is not None and depth < MAX_KEY_DEPTH:
+                sub_env = self._bind(callee, call, env, depth)
+                return self.eval_function(callee, sub_env, depth + 1)
+            self._eval_args(call, env, depth)
+            return None
+        if isinstance(func, ast.Attribute):
+            recv = self.eval(func.value, env, depth)
+            if isinstance(recv, _ConfigVal):
+                # Method on a config object (with_ptb, replace-style):
+                # treat the result as still being the config, keeping
+                # argument atoms (they are folded into the object).
+                self._eval_args(call, env, depth)
+                return recv
+            if func.attr in SERIALIZERS:
+                return self._serialize_args(call, env, depth)
+            self._eval_args(call, env, depth)
+            return None
+        self.eval(func, env, depth)
+        self._eval_args(call, env, depth)
+        return None
+
+    def _serialize_args(self, call: ast.Call, env: Dict[str, object], depth: int):
+        """repr()/str()/astuple()-style call: whole-object coverage."""
+        for arg in call.args:
+            val = self.eval(arg, env, depth)
+            if isinstance(val, _ConfigVal):
+                self.atoms.add("config:*")
+            elif isinstance(val, _RecipeVal):
+                self.atoms.add("recipe:*")
+        for kw in call.keywords:
+            self.eval(kw.value, env, depth)
+        return None
+
+    def _eval_args(self, call: ast.Call, env: Dict[str, object], depth: int):
+        for arg in call.args:
+            self.eval(arg, env, depth)
+        for kw in call.keywords:
+            self.eval(kw.value, env, depth)
+
+    def _bind(
+        self,
+        callee: ast.FunctionDef,
+        call: ast.Call,
+        env: Dict[str, object],
+        depth: int,
+    ) -> Dict[str, object]:
+        params = [a.arg for a in callee.args.args]
+        out: Dict[str, object] = {}
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                self.eval(arg, env, depth)
+                continue
+            val = self.eval(arg, env, depth) if not isinstance(
+                arg, (ast.Name, ast.Attribute)
+            ) else self._peek(arg, env)
+            if val is not None:
+                out[params[i]] = val
+        for kw in call.keywords:
+            val = self._peek(kw.value, env) if isinstance(
+                kw.value, (ast.Name, ast.Attribute)
+            ) else self.eval(kw.value, env, depth)
+            if kw.arg is not None and val is not None:
+                out[kw.arg] = val
+        return out
+
+    def _peek(self, expr: ast.expr, env: Dict[str, object]) -> object:
+        """Resolve an argument to a symbolic value without atom noise.
+
+        Passing ``recipe`` into a helper is not itself coverage — only
+        what the helper *does* with it is — so simple name/attr args
+        bind silently.
+        """
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# KEY001 / KEY002                                                             #
+# --------------------------------------------------------------------------- #
+
+
+def _fn_param_names(fn: Optional[ast.FunctionDef]) -> List[str]:
+    if fn is None:
+        return []
+    return [a.arg for a in list(fn.args.args) + list(fn.args.kwonlyargs)]
+
+
+def _constructor_kwargs(
+    index: PackageIndex, model: CacheModel
+) -> Dict[str, str]:
+    """config top-level field -> recipe field it is set from directly.
+
+    Recognises ``Config(num_cores=recipe.cores)`` in the simulate
+    closure, where ``recipe`` is the enclosing function's first
+    parameter.  Anything subtler needs whole-config coverage.
+    """
+    out: Dict[str, str] = {}
+    if model.simulate_fn is None or model.config_cls is None:
+        return out
+    for fn in _module_closure(model.module, model.simulate_fn):
+        params = _fn_param_names(fn)
+        recipe_param = params[0] if params else None
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == model.config_cls.name
+            ):
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg is not None
+                    and isinstance(kw.value, ast.Attribute)
+                    and isinstance(kw.value.value, ast.Name)
+                    and kw.value.value.id == recipe_param
+                ):
+                    out[kw.arg] = kw.value.attr
+    return out
+
+
+def check_cache_key(
+    index: PackageIndex, model: CacheModel
+) -> Tuple[List[Finding], Dict[str, object]]:
+    """Run KEY001/KEY002; return (findings, coverage report fragment)."""
+    findings: List[Finding] = []
+    key_fn = model.key_fn
+    key_params = _fn_param_names(key_fn)
+
+    ev = _KeyEval(index, model.module)
+    env: Dict[str, object] = {}
+    for i, name in enumerate(key_params):
+        env[name] = _RecipeVal() if i == 0 and model.recipe_cls else _ParamVal(name)
+    ev.eval_function(key_fn, env)
+    atoms = ev.atoms
+
+    def finding(rule: str, message: str, fingerprint: str, line: int) -> None:
+        findings.append(
+            Finding(
+                path=model.relpath, line=line, col=0,
+                rule_id=rule, message=message, fingerprint=fingerprint,
+            )
+        )
+
+    # -- KEY001: recipe fields ------------------------------------------------
+    fields = recipe_fields(model.recipe_cls) if model.recipe_cls else []
+    missing_recipe = [
+        f for f in fields
+        if "recipe:*" not in atoms and f"recipe:{f}" not in atoms
+    ]
+    for f in missing_recipe:
+        finding(
+            "KEY001",
+            f"{model.recipe_cls.name} field '{f}' parameterises the cached "
+            f"simulation but never reaches {key_fn.name}; two different "
+            "recipes can alias one cache entry",
+            f"KEY001|recipe:{f}",
+            key_fn.lineno,
+        )
+
+    # -- KEY001: simulate parameters -----------------------------------------
+    sim_params = _fn_param_names(model.simulate_fn)
+    missing_params: List[str] = []
+    for p in sim_params[1:]:
+        if p not in key_params:
+            missing_params.append(p)
+            finding(
+                "KEY001",
+                f"input '{p}' of {model.simulate_fn.name} is not a "
+                f"parameter of {key_fn.name}; results depend on it but the "
+                "key cannot",
+                f"KEY001|param:{p}",
+                key_fn.lineno,
+            )
+        elif f"param:{p}" not in atoms:
+            missing_params.append(p)
+            finding(
+                "KEY001",
+                f"'{p}' is accepted by {key_fn.name} but never used in the "
+                "key it returns",
+                f"KEY001|param:{p}",
+                key_fn.lineno,
+            )
+
+    # -- KEY001: config field trees ------------------------------------------
+    config_covered_by_digest = "config:*" in atoms
+    missing_config: List[str] = []
+    if model.config_cls is not None:
+        ctor = _constructor_kwargs(index, model)
+        covered_recipe = {
+            f for f in fields
+            if "recipe:*" in atoms or f"recipe:{f}" in atoms
+        }
+        for top in config_top_fields(model.config_cls):
+            if config_covered_by_digest or f"config:{top}" in atoms:
+                continue
+            top_leaves = [
+                leaf for leaf in config_leaves(index, model.config_cls)
+                if leaf == top or leaf.startswith(top + ".")
+            ]
+            uncovered = [
+                leaf for leaf in top_leaves
+                if f"config:{leaf}" not in atoms
+                and not (
+                    leaf == top
+                    and ctor.get(top) in covered_recipe
+                )
+            ]
+            if not uncovered:
+                continue
+            missing_config.append(top)
+            preview = ", ".join(uncovered[:4])
+            if len(uncovered) > 4:
+                preview += ", ..."
+            finding(
+                "KEY001",
+                f"{model.config_cls.name} field '{top}' "
+                f"({len(uncovered)} uncovered leaf/leaves: {preview}) flows "
+                f"into cached results but is not captured by {key_fn.name}; "
+                "fold a digest of the fully-resolved config into the key",
+                f"KEY001|config:{top}",
+                key_fn.lineno,
+            )
+
+    # -- KEY002: process-stable repr of key components -----------------------
+    findings.extend(_check_key_stability(index, model))
+
+    report = {
+        "module": model.relpath,
+        "key_fn": key_fn.name,
+        "recipe": {
+            "class": model.recipe_cls.name if model.recipe_cls else None,
+            "fields": len(fields),
+            "missing": missing_recipe,
+        },
+        "params": {
+            "simulate": sim_params[1:],
+            "missing": missing_params,
+        },
+        "config": {
+            "class": model.config_cls.name if model.config_cls else None,
+            "leaves": (
+                len(config_leaves(index, model.config_cls))
+                if model.config_cls else 0
+            ),
+            "digest": config_covered_by_digest,
+            "missing": missing_config,
+        },
+    }
+    return findings, report
+
+
+#: Bare-name calls whose result repr depends on the process.
+_UNSTABLE_CALLS = {
+    "hash": "hash() output depends on PYTHONHASHSEED across processes",
+    "id": "id() bakes a memory address into the key",
+    "set": "set repr depends on hash-iteration order",
+    "frozenset": "frozenset repr depends on hash-iteration order",
+}
+
+
+def _check_key_stability(
+    index: PackageIndex, model: CacheModel
+) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+
+    def emit(node: ast.AST, fn_name: str, kind: str, message: str) -> None:
+        fp = f"KEY002|{fn_name}|{kind}"
+        if fp in seen:
+            return
+        seen.add(fp)
+        findings.append(
+            Finding(
+                path=model.relpath,
+                line=getattr(node, "lineno", model.key_fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id="KEY002",
+                message=message,
+                fingerprint=fp,
+            )
+        )
+
+    for fn in _module_closure(model.module, model.key_fn):
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                emit(
+                    node, fn.name, "set-display",
+                    "set in the cache-key path: repr order follows "
+                    "per-process hash seeds, so identical runs key "
+                    "differently",
+                )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in _UNSTABLE_CALLS:
+                    emit(
+                        node, fn.name, name,
+                        f"{name}() in the cache-key path: "
+                        f"{_UNSTABLE_CALLS[name]}",
+                    )
+                else:
+                    cls = index.classes.get(name)
+                    if cls is not None and not _stable_repr_class(index, cls):
+                        emit(
+                            node, fn.name, f"repr:{cls.name}",
+                            f"instance of {cls.name} in the cache-key path "
+                            "has no __repr__ (and is not a dataclass/"
+                            "NamedTuple): the default repr embeds a memory "
+                            "address",
+                        )
+    return findings
+
+
+def _stable_repr_class(index: PackageIndex, cls: ClassInfo) -> bool:
+    for c in index.mro(cls):
+        if _has_dataclass_decorator(c.node):
+            return True
+        if "__repr__" in c.methods or "__str__" in c.methods:
+            return True
+        if any(b in ("NamedTuple", "Enum", "IntEnum", "StrEnum", "Path")
+               for b in c.bases):
+            return True
+    # Out-of-package bases (NamedTuple, Enum...) are recorded as bare
+    # base names on the ClassInfo itself.
+    return any(
+        b in ("NamedTuple", "Enum", "IntEnum", "StrEnum", "Path")
+        for b in cls.bases
+    )

@@ -1,0 +1,109 @@
+"""Result-payload stability analysis (PURE003).
+
+Cache entries are pickled result objects compared byte-for-byte by the
+determinism CI (jobs=2 vs jobs=1 must produce identical figures) and —
+once the service layer lands — shared across tenants.  A ``set`` (or
+``frozenset``) field breaks that: its pickle stream follows
+hash-iteration order, which varies with ``PYTHONHASHSEED`` across
+worker processes, so two equal results serialise to different bytes.
+
+The check walks the result class's annotated fields recursively through
+referenced in-package dataclasses and flags any field whose annotation
+contains a set head at any nesting level (``Set[str]``,
+``Dict[str, FrozenSet[int]]``, ...).  Dicts and lists are fine: dicts
+preserve insertion order, and insertion order is the simulation's own
+deterministic order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..lint import Finding
+from ..flow.model import ClassInfo, PackageIndex, annotation_heads
+
+#: Annotation heads whose values pickle in hash-iteration order.
+UNSTABLE_HEADS = frozenset({
+    "Set", "set", "FrozenSet", "frozenset", "MutableSet", "AbstractSet",
+})
+
+_MAX_DEPTH = 4
+
+
+def _annotation_set_head(node: Optional[ast.expr]) -> Optional[str]:
+    """The first set-like head appearing anywhere in an annotation."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id if node.id in UNSTABLE_HEADS else None
+    if isinstance(node, ast.Attribute):
+        return node.attr if node.attr in UNSTABLE_HEADS else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _annotation_set_head(parsed)
+    if isinstance(node, ast.Subscript):
+        return _annotation_set_head(node.value) or _annotation_set_head(
+            node.slice
+        )
+    if isinstance(node, (ast.Tuple, ast.BinOp)):
+        children = (
+            node.elts if isinstance(node, ast.Tuple)
+            else [node.left, node.right]
+        )
+        for child in children:
+            head = _annotation_set_head(child)
+            if head is not None:
+                return head
+    return None
+
+
+def check_payload(
+    index: PackageIndex, result_cls: Optional[ClassInfo]
+) -> List[Finding]:
+    """Flag set-typed fields in the result class's pickled field tree."""
+    if result_cls is None:
+        return []
+    findings: List[Finding] = []
+
+    def visit(cls: ClassInfo, prefix: str, depth: int, seen: Set[str]) -> None:
+        for stmt in cls.node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            fname = stmt.target.id
+            head = _annotation_set_head(stmt.annotation)
+            if head is not None:
+                findings.append(
+                    Finding(
+                        path=cls.module.relpath,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        rule_id="PURE003",
+                        message=(
+                            f"field '{prefix}{fname}' of {result_cls.name} "
+                            f"is annotated with '{head}': its pickle byte "
+                            "layout follows hash-iteration order, so equal "
+                            "results serialise differently across worker "
+                            "processes; use a sorted tuple or list"
+                        ),
+                        fingerprint=f"PURE003|{cls.name}.{fname}",
+                    )
+                )
+                continue
+            if depth >= _MAX_DEPTH:
+                continue
+            for h in annotation_heads(stmt.annotation):
+                sub = index.classes.get(h)
+                if sub is not None and sub.name not in seen:
+                    visit(sub, f"{prefix}{fname}.", depth + 1,
+                          seen | {sub.name})
+                    break
+
+    visit(result_cls, "", 0, {result_cls.name})
+    return findings

@@ -145,6 +145,34 @@ class TestCacheSafety:
                                 fcntl.LOCK_EX | fcntl.LOCK_NB)
 
 
+class TestCacheByteIdentity:
+    """A hit must hand back exactly what the miss path computed.
+
+    The purity pass (KEY001/PURE003) argues this statically; this is the
+    dynamic regression: same recipe, fresh runner, byte-identical pickle
+    and untouched cache entry."""
+
+    def test_hit_pickles_identical_to_miss(self, tmp_path):
+        r1 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        miss = r1.run("swaptions", 2, "ptb", "toall")
+        (entry,) = tmp_path.glob("run_*.pkl")
+        entry_bytes = entry.read_bytes()
+
+        r2 = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        hit = r2.run("swaptions", 2, "ptb", "toall")
+        assert r2.stats["disk_hits"] == 1 and r2.stats["simulated"] == 0
+
+        assert pickle.dumps(hit) == pickle.dumps(miss)
+        assert entry.read_bytes() == entry_bytes  # hit never rewrites
+
+    def test_key_layout_change_is_a_clean_miss(self, tmp_path):
+        # Different recipe → different entry file, never an aliased hit.
+        r = ExperimentRunner(cache_dir=tmp_path, **TINY)
+        r.run("swaptions", 2)
+        r.run("swaptions", 2, "ptb", "toall")
+        assert len(list(tmp_path.glob("run_*.pkl"))) == 2
+
+
 class TestDefaults:
     def test_repro_jobs_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "6")
