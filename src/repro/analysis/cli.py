@@ -25,7 +25,7 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from . import experiments as ex
 from .report import (
@@ -235,26 +235,39 @@ def _git_sha() -> str:
     return "unknown"
 
 
+def load_bench(path: Path) -> List[Dict]:
+    """Entries of ``BENCH_runner.json``, legacy entries normalised.
+
+    Every returned entry carries ``schema_version`` and ``git_sha`` keys
+    so consumers see one shape: pre-versioning entries are stamped
+    ``schema_version: 1`` / ``git_sha: None``.  A corrupt or missing
+    file loads as empty, not a crash.
+    """
+    records: List[Dict] = []
+    try:
+        loaded = json.loads(path.read_text())
+        if isinstance(loaded, dict):
+            records = [
+                e for e in loaded.get("entries", []) if isinstance(e, dict)
+            ]
+    except (OSError, ValueError):
+        return []
+    for entry in records:
+        entry.setdefault("schema_version", 1)
+        entry.setdefault("git_sha", None)
+    return records
+
+
 def _emit_bench(path: Path, entry: Dict) -> None:
     """Append one wall-clock record to ``BENCH_runner.json``.
 
     The file accumulates entries across invocations (``--jobs 1`` vs
     ``--jobs 4`` runs land side by side), so speedup comparisons read
-    one file.  A corrupt or legacy file is restarted, not crashed on.
-    Every entry carries provenance (schema version, git SHA, scale) so
-    bench trajectories stay comparable across PRs; pre-versioning
-    entries are stamped ``schema_version: 1`` in place.
+    one file.  Every entry carries provenance (schema version, git SHA,
+    scale) so bench trajectories stay comparable across PRs; legacy
+    entries are normalised in place by :func:`load_bench`.
     """
-    records = []
-    try:
-        loaded = json.loads(path.read_text())
-        if isinstance(loaded, dict):
-            records = list(loaded.get("entries", []))
-    except (OSError, ValueError):
-        pass
-    for legacy in records:
-        if isinstance(legacy, dict):
-            legacy.setdefault("schema_version", 1)
+    records = load_bench(path)
     records.append(entry)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps({"entries": records}, indent=2) + "\n")

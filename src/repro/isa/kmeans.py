@@ -54,10 +54,14 @@ def kmeans_1d(
     qs = np.linspace(0, 1, k + 2)[1:-1]
     centroids = np.quantile(values, qs)
     centroids = np.unique(centroids)
-    # Pad back to k centroids if quantiles collided.
+    # Pad back to k centroids if quantiles collided.  The rng must live
+    # outside the loop: recreating default_rng(0) per iteration yields
+    # the same candidate forever, and np.unique then never grows the
+    # array (infinite loop on heavily skewed samples).
+    rng = np.random.default_rng(0)
+    lo, hi = values.min(), values.max()
     while centroids.size < k:
-        lo, hi = values.min(), values.max()
-        extra = lo + (hi - lo) * np.random.default_rng(0).random()
+        extra = lo + (hi - lo) * rng.random()
         centroids = np.unique(np.append(centroids, extra))
 
     for _ in range(max_iter):

@@ -371,12 +371,248 @@ def _cmd_purity(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_smoke(args: argparse.Namespace) -> int:
-    # Imported lazily: lint must not drag the simulator (and numpy) in.
-    from dataclasses import replace
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .schedule import analyze_schedule, render_json, render_table
 
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"simcheck schedule: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_schedule(root)
+    if args.verbose:
+        for note in analysis.notes:
+            print(note, file=sys.stderr)
+    if analysis.report is None:
+        print(
+            "simcheck schedule: no per-cycle driver loop found; "
+            "nothing to analyze",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.report and not args.no_report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(render_json(analysis.report))
+        print(
+            f"simcheck schedule: wrote report to {report_path}",
+            file=sys.stderr,
+        )
+
+    handled, new, suppressed, stale = _gate_with_baseline(
+        "schedule", args, analysis.findings
+    )
+    if handled is not None:
+        return handled
+    if args.format == "table":
+        print(render_table(analysis.report), end="")
+        for finding in new:
+            print(finding.render())
+    else:
+        _emit_findings("schedule", new, args.format)
+    _report_baseline_noise("schedule", suppressed, stale)
+
+    status = 0
+    unknown = analysis.unknown_types
+    if unknown:
+        for ft in unknown:
+            print(
+                f"simcheck schedule: UNKNOWN dtype for field {ft.key} "
+                f"({'; '.join(ft.evidence) or 'no evidence'}) — extend the "
+                "dtype inference",
+                file=sys.stderr,
+            )
+        print(
+            f"simcheck schedule: {len(unknown)} field(s) have no inferred "
+            "dtype; the kernel contract is incomplete",
+            file=sys.stderr,
+        )
+        status = 1
+    if new:
+        print(
+            f"simcheck schedule: {len(new)} new SCHED finding(s) — fix them "
+            "or baseline with a justification",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.validate:
+        violations = _validate_schedule(analysis.report, args)
+        if violations is None:
+            status = max(status, 2)
+        elif violations:
+            for msg in violations:
+                print(f"simcheck schedule: VALIDATE {msg}", file=sys.stderr)
+            print(
+                f"simcheck schedule: reference run violated the static "
+                f"schedule ({len(violations)} violation(s))",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                "simcheck schedule: reference run refines the static "
+                "schedule (validator clean)",
+                file=sys.stderr,
+            )
+    return status
+
+
+def _validate_schedule(report, args: argparse.Namespace):
+    """Replay a short reference run against the static schedule.
+
+    Returns the violation list, or None when the run itself failed.
+    """
+    # Imported lazily: static analysis must not drag the simulator in.
     from ..config import CMPConfig
-    from ..sim.cmp import run_simulation
+    from ..sim.cmp import CMPSimulator
+    from .schedule import ScheduleValidator
+
+    cfg = CMPConfig(num_cores=args.validate_cores)
+    program = _make_smoke_program(args.validate_cores, args.validate_work)
+    sim = CMPSimulator(cfg, program, technique="ptb", ptb_policy="dynamic")
+    validator = ScheduleValidator(report).attach(sim)
+    if not validator.wrapped:
+        print(
+            "simcheck schedule: validator wrapped no stage entries; "
+            "the report does not match the simulator",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        result = sim.run(args.validate_cycles)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"simcheck schedule: reference run failed: {exc}", file=sys.stderr)
+        return None
+    print(
+        f"simcheck schedule: reference run {result.cycles} cycles, "
+        f"{validator.wrapped} entries wrapped, "
+        f"{len(validator.calls)} calls recorded",
+        file=sys.stderr,
+    )
+    return validator.violations()
+
+
+#: Pass order and default baseline for ``simcheck all``.
+_ALL_BASELINES = (
+    ("lint", ".simcheck-lint-baseline.json"),
+    ("flow", ".simcheck-baseline.json"),
+    ("kernel", ".simcheck-kernel-baseline.json"),
+    ("purity", ".simcheck-purity-baseline.json"),
+    ("schedule", ".simcheck-schedule-baseline.json"),
+)
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    """Run every analysis pass once: one gate, one merged SARIF."""
+    from .flow import analyze_package, apply_baseline, load_baseline
+    from .kernel import analyze_kernel
+    from .kernel import render_json as render_kernel_json
+    from .purity import analyze_purity
+    from .sarif import merge_sarif, sarif_document
+    from .schedule import analyze_schedule
+    from .schedule import render_json as render_schedule_json
+
+    root = Path(args.path)
+    if not root.is_dir():
+        print(f"simcheck all: not a directory: {root}", file=sys.stderr)
+        return 2
+    reports_dir = Path(args.reports_dir)
+    reports_dir.mkdir(parents=True, exist_ok=True)
+
+    status = 0
+    docs = []
+    baseline_of = dict(_ALL_BASELINES)
+
+    def gate(tool: str, findings: Sequence[Finding]) -> None:
+        nonlocal status
+        baseline = {}
+        baseline_path = Path(baseline_of[tool])
+        if baseline_path.is_file():
+            try:
+                baseline = load_baseline(baseline_path)
+            except (ValueError, OSError, json.JSONDecodeError) as exc:
+                print(f"simcheck {tool}: {exc}", file=sys.stderr)
+                status = max(status, 2)
+        new, suppressed, stale = apply_baseline(findings, baseline)
+        _emit_findings(tool, new, "text")
+        _report_baseline_noise(tool, suppressed, stale)
+        docs.append(sarif_document(tool, new))
+        if new:
+            print(
+                f"simcheck {tool}: {len(new)} new finding(s)",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+
+    gate("lint", lint_paths([str(root)]))
+
+    flow_findings, flow_notes = analyze_package(root)
+    if args.verbose:
+        for note in flow_notes:
+            print(note, file=sys.stderr)
+    gate("flow", flow_findings)
+
+    kernel_analysis = analyze_kernel(root)
+    if kernel_analysis.report is None:
+        print("simcheck kernel: no per-cycle driver loop found", file=sys.stderr)
+        status = max(status, 2)
+    else:
+        (reports_dir / "kernel-report.json").write_text(
+            render_kernel_json(kernel_analysis.report)
+        )
+        gate("kernel", kernel_analysis.findings)
+        if kernel_analysis.unknown_fields:
+            print(
+                f"simcheck kernel: {len(kernel_analysis.unknown_fields)} "
+                "unclassified field(s)",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+
+    purity_analysis = analyze_purity(root)
+    if purity_analysis.model is None:
+        print("simcheck purity: no cache-key builder found", file=sys.stderr)
+        status = max(status, 2)
+    else:
+        (reports_dir / "purity-report.json").write_text(
+            json.dumps(purity_analysis.report, indent=2) + "\n"
+        )
+        gate("purity", purity_analysis.findings)
+
+    schedule_analysis = analyze_schedule(root)
+    if schedule_analysis.report is None:
+        print("simcheck schedule: no per-cycle driver loop found", file=sys.stderr)
+        status = max(status, 2)
+    else:
+        (reports_dir / "schedule-report.json").write_text(
+            render_schedule_json(schedule_analysis.report)
+        )
+        gate("schedule", schedule_analysis.findings)
+        if schedule_analysis.unknown_types:
+            print(
+                f"simcheck schedule: {len(schedule_analysis.unknown_types)} "
+                "field(s) with unknown dtype",
+                file=sys.stderr,
+            )
+            status = max(status, 1)
+
+    sarif_path = reports_dir / "simcheck.sarif"
+    sarif_path.write_text(
+        json.dumps(merge_sarif(docs), indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"simcheck all: {len(docs)} passes gated, merged SARIF at "
+        f"{sarif_path}, reports in {reports_dir}/ — "
+        f"{'CLEAN' if status == 0 else 'FAILED'}",
+        file=sys.stderr,
+    )
+    return status
+
+
+def _make_smoke_program(num_threads: int, work: int):
+    """Tiny lock+barrier reference program shared by smoke and validate."""
+    # Imported lazily: lint must not drag the simulator (and numpy) in.
     from ..trace.phases import (
         BarrierPhase,
         ComputePhase,
@@ -384,27 +620,33 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         ParallelProgram,
         ThreadProgram,
     )
-    from .sanitizers import SanitizerViolation
 
-    def make_program(num_threads: int, work: int) -> ParallelProgram:
-        threads = []
-        for t in range(num_threads):
-            phases = []
-            for b in range(2):
-                phases.append(
-                    ComputePhase(instructions=work, footprint_lines=512)
+    threads = []
+    for t in range(num_threads):
+        phases = []
+        for b in range(2):
+            phases.append(
+                ComputePhase(instructions=work, footprint_lines=512)
+            )
+            phases.append(
+                LockPhase(
+                    lock_id=0,
+                    critical_section=ComputePhase(
+                        instructions=40, footprint_lines=512
+                    ),
                 )
-                phases.append(
-                    LockPhase(
-                        lock_id=0,
-                        critical_section=ComputePhase(
-                            instructions=40, footprint_lines=512
-                        ),
-                    )
-                )
-                phases.append(BarrierPhase(b))
-            threads.append(ThreadProgram(thread_id=t, phases=tuple(phases)))
-        return ParallelProgram(name="simcheck-smoke", threads=tuple(threads))
+            )
+            phases.append(BarrierPhase(b))
+        threads.append(ThreadProgram(thread_id=t, phases=tuple(phases)))
+    return ParallelProgram(name="simcheck-smoke", threads=tuple(threads))
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from ..config import CMPConfig
+    from ..sim.cmp import run_simulation
+    from .sanitizers import SanitizerViolation
 
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     bad = [p for p in policies if p not in ("toall", "toone", "dynamic")]
@@ -417,7 +659,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         return 2
 
     cfg = replace(CMPConfig(num_cores=args.cores), sanitize=True)
-    program = make_program(args.cores, args.work)
+    program = _make_smoke_program(args.cores, args.work)
     failures = 0
     for policy in policies:
         try:
@@ -527,6 +769,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="print analysis notes (cache module, reachable-function count)",
     )
     purity.set_defaults(func=_cmd_purity)
+
+    schedule = sub.add_parser(
+        "schedule",
+        help="stage-schedule extraction + dtype inference (SoA kernel contract)",
+    )
+    schedule.add_argument(
+        "path", help="package root to analyze (e.g. src/repro)"
+    )
+    _add_baseline_args(schedule, ".simcheck-schedule-baseline.json")
+    schedule.add_argument(
+        "--report", metavar="FILE", default="reports/schedule-report.json",
+        help="write the machine-readable schedule report "
+        "(default: reports/schedule-report.json)",
+    )
+    schedule.add_argument(
+        "--no-report", action="store_true",
+        help="skip writing the schedule report file",
+    )
+    schedule.add_argument(
+        "--format", choices=("text", "json", "sarif", "table"),
+        default="text",
+        help="finding output format; 'table' renders the stage schedule",
+    )
+    schedule.add_argument(
+        "--validate", action="store_true",
+        help="replay a short reference run against the static schedule",
+    )
+    schedule.add_argument("--validate-cores", type=int, default=2)
+    schedule.add_argument("--validate-work", type=int, default=400)
+    schedule.add_argument("--validate-cycles", type=int, default=30_000)
+    schedule.add_argument(
+        "--verbose", action="store_true",
+        help="print analysis notes (driver, phase/edge/stage counts)",
+    )
+    schedule.set_defaults(func=_cmd_schedule)
+
+    allcmd = sub.add_parser(
+        "all",
+        help="run lint+flow+kernel+purity+schedule with default baselines",
+    )
+    allcmd.add_argument(
+        "path", help="package root to analyze (e.g. src/repro)"
+    )
+    allcmd.add_argument(
+        "--reports-dir", default="reports",
+        help="directory for kernel/schedule reports and merged SARIF "
+        "(default: reports)",
+    )
+    allcmd.add_argument(
+        "--verbose", action="store_true",
+        help="print per-pass analysis notes",
+    )
+    allcmd.set_defaults(func=_cmd_all)
 
     smoke = sub.add_parser(
         "smoke", help="short 2-core sim under every policy with sanitizers on"

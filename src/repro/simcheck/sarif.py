@@ -59,5 +59,18 @@ def sarif_document(tool: str, findings: Sequence[Finding]) -> Dict[str, object]:
     }
 
 
+def merge_sarif(documents: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-pass documents into one multi-run SARIF document.
+
+    ``simcheck all`` emits a single document whose ``runs`` array holds
+    one run per pass, in pass order, so one code-scanning upload covers
+    the whole gate.
+    """
+    runs: List[object] = []
+    for doc in documents:
+        runs.extend(doc.get("runs", []))  # type: ignore[union-attr]
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": runs}
+
+
 def render_sarif(tool: str, findings: Sequence[Finding]) -> str:
     return json.dumps(sarif_document(tool, findings), indent=2, sort_keys=True)

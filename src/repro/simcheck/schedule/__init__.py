@@ -1,0 +1,162 @@
+"""``repro.simcheck.schedule`` — stage-schedule extraction + dtype inference.
+
+The fifth simcheck pass, and the one that turns ROADMAP item 1 from
+"aggressive rewrite, hope the pickles match" into a machine-checked
+plan.  ``kernel`` classifies every swept field as per-core, cross-core
+or global; ``flow`` computes interprocedural effect summaries; this
+pass composes both into the explicit *happens-before stage schedule*
+an SoA cycle kernel must implement:
+
+1. Build the per-cycle phase DAG over (phase, instance, field) edges
+   from the driver's abstractly-executed event stream (:mod:`.phases`).
+2. Condense it into a minimal stage schedule; every stage is proven
+   either **per-core-parallel** (one array op across all cores) or
+   **serialized** (the PTB grant vectors, the balancer pipe, coherence
+   servicing).
+3. Infer a concrete numpy dtype and ``(n_cores,)``/scalar shape for
+   every swept field (:mod:`.dtypes`).
+4. Emit deterministic ``schedule-report.json`` (:mod:`.report`) plus an
+   opt-in runtime validator that replays a reference run against the
+   static schedule (:mod:`.validator`).
+
+Three rules:
+
+* **SCHED001** — a cycle in the phase DAG (mutually-dependent phases
+  fuse into one serialized stage).
+* **SCHED002** — a field written in two stages no dependence path
+  orders (the schedule cannot sequence the updates).
+* **SCHED003** — a per-core-classified field reached through a skewed
+  core index, contradicting ``kernel-report.json``.
+
+Like the other passes: findings carry line-independent fingerprints,
+honour inline ``# simcheck: disable=RULE`` comments, and gate through a
+justified baseline (``.simcheck-schedule-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..flow.effects import EffectAnalyzer
+from ..flow.hazards import find_driver
+from ..flow.model import PackageIndex
+from ..lint import ConfigModel, Finding
+from ..kernel.coupling import classify_fields
+from ..purity import _apply_disables
+from .dtypes import FieldType, infer_field_types
+from .phases import (
+    PARALLEL,
+    SERIAL,
+    Edge,
+    Phase,
+    Segment,
+    Stage,
+    build_edges,
+    build_phases,
+    build_schedule,
+    extract_phase_events,
+)
+from .report import build_report, render_json, render_table
+from .validator import ScheduleValidator
+
+__all__ = [
+    "ScheduleAnalysis",
+    "analyze_schedule",
+    "ScheduleValidator",
+    "build_report",
+    "render_json",
+    "render_table",
+    "infer_field_types",
+    "PARALLEL",
+    "SERIAL",
+]
+
+
+@dataclass
+class ScheduleAnalysis:
+    """Everything one schedule run produces."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stages: List[Stage] = field(default_factory=list)
+    phases: List[Phase] = field(default_factory=list)
+    segments: List[Segment] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+    field_types: List[FieldType] = field(default_factory=list)
+    report: Optional[Dict[str, object]] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def parallel_stages(self) -> List[Stage]:
+        return [s for s in self.stages if s.kind == PARALLEL]
+
+    @property
+    def unknown_types(self) -> List[FieldType]:
+        return [f for f in self.field_types if f.dtype == "unknown"]
+
+
+def _load_config_model(root: Path) -> Optional[ConfigModel]:
+    for candidate in (root / "config.py", root / "repro" / "config.py"):
+        if candidate.is_file():
+            try:
+                return ConfigModel.from_source(candidate.read_text())
+            except (OSError, SyntaxError):  # pragma: no cover - defensive
+                return None
+    return None
+
+
+def analyze_schedule(root: Path) -> ScheduleAnalysis:
+    """Run the schedule pass over the package rooted at ``root``."""
+    out = ScheduleAnalysis()
+    index = PackageIndex.build(root)
+    for relpath, error in index.parse_errors:
+        out.notes.append(f"schedule: parse error in {relpath}: {error}")
+
+    driver = find_driver(index)
+    if driver is None:
+        out.notes.append(
+            "schedule: no per-cycle driver loop found "
+            "(looked for run/tick/advance with a top-level loop); "
+            "schedule analysis skipped"
+        )
+        return out
+    root_cls, fn, loop = driver
+    driver_name = f"{root_cls.name}.{fn.name}"
+    out.notes.append(
+        f"schedule: driver {driver_name} "
+        f"({root_cls.module.relpath}:{fn.lineno})"
+    )
+
+    analyzer = EffectAnalyzer(index)
+    state, _root, segments = extract_phase_events(
+        index, root_cls, fn, loop, analyzer
+    )
+    out.segments = segments
+    fields, _coupling_edges = classify_fields(index, state)
+
+    phases, of_event = build_phases(state)
+    out.phases = phases
+    out.edges = build_edges(state, of_event)
+    stages, findings, _stage_of = build_schedule(
+        state, phases, out.edges, fields
+    )
+    out.stages = stages
+    out.notes.append(
+        f"schedule: {len(phases)} phases, {len(out.edges)} edges, "
+        f"{len(stages)} stages "
+        f"({sum(1 for s in stages if s.kind == PARALLEL)} parallel)"
+    )
+
+    out.field_types = infer_field_types(
+        index, fields, _load_config_model(root)
+    )
+
+    findings = _apply_disables(root, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    out.findings = findings
+    out.report = build_report(
+        driver_name, segments, state, stages, out.field_types,
+        out.edges, findings, phases,
+    )
+    return out

@@ -1,0 +1,551 @@
+"""Dtype/shape inference for swept state fields.
+
+The SoA rewrite needs, for every field the cycle sweep writes, a
+concrete numpy dtype and a shape — ``(n_cores,)`` for replicated or
+per-core-vector state, ``scalar`` for shared singletons, ``ragged`` for
+genuinely irregular containers (a deque-shaped ROB cannot be one array
+column; the report says so instead of guessing).
+
+Evidence comes from three places, in priority order:
+
+1. **Assignments** over the owning class's MRO: constant kinds
+   (``True``/``0``/``0.0``), coercions (``int(...)``, ``float(...)``,
+   ``len(...)``, comparisons), container constructions (``[x] * n``,
+   list comprehensions, ``deque()``/``dict()``/``set()``), and augmented
+   assignments (``+=`` of float evidence marks an *accumulator*, which
+   is always float64 — never float32 — because energy accumulators sum
+   millions of per-cycle samples and float32 loses the tail).
+2. **Units annotations** (:mod:`repro.units`): Watts/Joules/Tokens/
+   Hertz are float quantities; Cycles counts whole events.
+3. **CMPConfig bounds**: an assignment or comparison that references a
+   config field chain (``cfg.core.rob_entries``) records the bound, so
+   a bounded int can later become the narrowest array column that fits.
+
+Enum-like fields (assigned only from a small closed set of int
+constants, never arithmetic) get the narrowest dtype that holds the
+set; plain ints stay int64.  A field with no usable evidence is
+``unknown`` — the CLI treats that as an analysis failure, exactly like
+an unclassified field in the kernel pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..flow.model import ClassInfo, PackageIndex
+from ..kernel.coupling import CROSS_CORE, PER_CORE, FieldClass
+from ..lint import ConfigModel
+
+#: Units whose quantities are real-valued vs whole-event counts.
+FLOAT_UNITS = {"Watts", "Joules", "Tokens", "Hertz", "Seconds"}
+INT_UNITS = {"Cycles"}
+
+#: Calls that coerce their result to a known scalar kind.
+INT_CALLS = {"int", "len", "round", "ord", "sum"}
+FLOAT_CALLS = {"float"}
+BOOL_CALLS = {"bool", "any", "all", "isinstance"}
+CONTAINER_CALLS = {
+    "deque", "dict", "set", "list", "tuple", "defaultdict", "OrderedDict",
+    "Counter", "frozenset",
+}
+
+
+@dataclass
+class FieldType:
+    """Inferred storage type for one swept field."""
+
+    key: str
+    owner: str
+    attr: str
+    classification: str
+    dtype: str            # "float64" | "int64" | "int8" | "bool" | "object" | "unknown"
+    shape: str            # "(n_cores,)" | "scalar" | "ragged"
+    kind: str             # "float" | "accumulator" | "counter" | "enum" | ...
+    evidence: List[str] = field(default_factory=list)
+    bound: Optional[str] = None
+    enum_values: Optional[List[int]] = None
+
+
+#: Base-class names that mark an enum definition.
+ENUM_BASES = {"Enum", "IntEnum", "IntFlag", "Flag"}
+
+#: class name -> {member name -> int value}; threaded through inference.
+EnumTable = Dict[str, Dict[str, int]]
+
+
+def build_enum_table(index: PackageIndex) -> EnumTable:
+    """Int-valued members of every Enum subclass known to the index."""
+    enums: EnumTable = {}
+    for name, cls in index.classes.items():
+        if not any(base in ENUM_BASES for base in cls.bases):
+            continue
+        members: Dict[str, int] = {}
+        for stmt in cls.node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, int)
+                and not isinstance(stmt.value.value, bool)
+            ):
+                members[stmt.targets[0].id] = stmt.value.value
+        if members:
+            enums[name] = members
+    return enums
+
+
+class _Evidence:
+    """Accumulated per-field signals from one class's method bodies."""
+
+    def __init__(self) -> None:
+        self.enum_refs = 0
+        self.bools = 0
+        self.int_values: Set[int] = set()
+        self.ints = 0
+        self.floats = 0
+        self.strs = 0
+        self.nones = 0
+        self.container: Optional[str] = None
+        self.vector = False       # [x] * n / per-element comprehension
+        self.element: Optional[str] = None  # scalar kind of vector elements
+        self.objects = 0
+        self.aug_int = 0
+        self.aug_float = 0
+        self.aug_unknown = 0
+        self.arithmetic = 0       # non-constant arithmetic assignments
+        self.bound: Optional[str] = None
+        self.notes: List[str] = []
+
+
+def _self_attr(node: ast.expr, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _config_bound(node: ast.AST, config_attrs: Set[str]) -> Optional[str]:
+    """Dotted config chain referenced anywhere under ``node``, if any."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Attribute):
+            continue
+        chain = _attr_chain(sub)
+        if len(chain) < 2 or sub.attr not in config_attrs:
+            continue
+        if any(part in ("cfg", "config") for part in chain[:-1]):
+            return ".".join(chain)
+    return None
+
+
+def _classify_value(
+    value: ast.expr,
+    ev: _Evidence,
+    config_attrs: Set[str],
+    enums: EnumTable,
+) -> None:
+    """Fold one assigned expression into the evidence."""
+    if isinstance(value, ast.Constant):
+        v = value.value
+        if isinstance(v, bool):
+            ev.bools += 1
+        elif isinstance(v, int):
+            ev.ints += 1
+            ev.int_values.add(v)
+        elif isinstance(v, float):
+            ev.floats += 1
+        elif isinstance(v, str):
+            ev.strs += 1
+        elif v is None:
+            ev.nones += 1
+        else:
+            ev.objects += 1
+        return
+    if isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.USub):
+        inner = value.operand
+        if isinstance(inner, ast.Constant) and isinstance(
+            inner.value, (int, float)
+        ) and not isinstance(inner.value, bool):
+            if isinstance(inner.value, int):
+                ev.ints += 1
+                ev.int_values.add(-inner.value)
+            else:
+                ev.floats += 1
+            return
+    if isinstance(value, (ast.Compare, ast.BoolOp)) or (
+        isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.Not)
+    ):
+        ev.bools += 1
+        return
+    if isinstance(value, ast.Call):
+        fname = value.func.id if isinstance(value.func, ast.Name) else (
+            value.func.attr if isinstance(value.func, ast.Attribute) else ""
+        )
+        if fname in INT_CALLS:
+            ev.ints += 1
+            ev.arithmetic += 1
+            return
+        if fname in FLOAT_CALLS:
+            ev.floats += 1
+            ev.arithmetic += 1
+            return
+        if fname in BOOL_CALLS:
+            ev.bools += 1
+            return
+        if fname in CONTAINER_CALLS:
+            ev.container = fname
+            return
+        ev.objects += 1
+        return
+    if isinstance(value, ast.BinOp):
+        if isinstance(value.op, ast.Mult) and (
+            isinstance(value.left, ast.List) or isinstance(value.right, ast.List)
+        ):
+            ev.vector = True
+            lst = value.left if isinstance(value.left, ast.List) else value.right
+            if lst.elts:
+                elem = _Evidence()
+                _classify_value(lst.elts[0], elem, config_attrs, enums)
+                ev.element = _scalar_kind(elem)
+            return
+        if isinstance(value.op, ast.Div):
+            ev.floats += 1
+            ev.arithmetic += 1
+            return
+        ev.arithmetic += 1
+        # Arithmetic with a float constant anywhere is float evidence.
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                ev.floats += 1
+                return
+        return
+    if isinstance(value, ast.ListComp):
+        ev.vector = True
+        elem = _Evidence()
+        _classify_value(value.elt, elem, config_attrs, enums)
+        ev.element = _scalar_kind(elem)
+        return
+    if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+        ev.container = type(value).__name__.lower()
+        return
+    if isinstance(value, ast.IfExp):
+        _classify_value(value.body, ev, config_attrs, enums)
+        _classify_value(value.orelse, ev, config_attrs, enums)
+        return
+    if isinstance(value, ast.Attribute):
+        chain = _attr_chain(value)
+        if (
+            len(chain) == 2
+            and chain[0] in enums
+            and chain[1] in enums[chain[0]]
+        ):
+            ev.ints += 1
+            ev.enum_refs += 1
+            ev.int_values.add(enums[chain[0]][chain[1]])
+            return
+        bound = _config_bound(value, config_attrs)
+        if bound is not None:
+            ev.bound = ev.bound or bound
+            ev.ints += 1
+            return
+        ev.objects += 1
+        return
+    ev.objects += 1
+
+
+def _scalar_kind(ev: _Evidence) -> Optional[str]:
+    if ev.floats:
+        return "float64"
+    if ev.bools and not ev.ints:
+        return "bool"
+    if ev.ints:
+        return "int64"
+    return None
+
+
+#: Annotation heads that mark a container-valued field.
+CONTAINER_ANNOTATIONS = {
+    "Set", "List", "Dict", "Deque", "Tuple", "FrozenSet", "DefaultDict",
+    "set", "list", "dict", "deque", "tuple", "frozenset",
+}
+
+
+def _annotation_head(ann: ast.expr) -> Optional[str]:
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Subscript):
+        head = _annotation_head(ann.value)
+        if head == "Optional":
+            return _annotation_head(ann.slice)
+        return head
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value
+    return None
+
+
+def _classify_annotation(ann: ast.expr, ev: _Evidence) -> None:
+    head = _annotation_head(ann)
+    if head is None:
+        return
+    if head in CONTAINER_ANNOTATIONS:
+        ev.container = ev.container or head.lower()
+        if isinstance(ann, ast.Subscript) and not isinstance(
+            ann.slice, ast.Tuple
+        ):
+            elem = _Evidence()
+            _classify_annotation(ann.slice, elem)
+            ev.element = ev.element or _scalar_kind(elem)
+    elif head == "bool":
+        ev.bools += 1
+    elif head == "int":
+        ev.ints += 1
+        ev.arithmetic += 1  # annotation gives no closed value set
+    elif head == "float":
+        ev.floats += 1
+    elif head == "str":
+        ev.strs += 1
+    elif head in FLOAT_UNITS:
+        ev.floats += 1
+    elif head in INT_UNITS:
+        ev.ints += 1
+        ev.arithmetic += 1
+
+
+def _subclass_closure(
+    index: PackageIndex, cls: ClassInfo
+) -> List[ClassInfo]:
+    """``cls`` plus every transitive subclass known to the index."""
+    out: List[ClassInfo] = []
+    seen: Set[str] = set()
+    frontier = [cls]
+    while frontier:
+        cur = frontier.pop()
+        if cur.name in seen:
+            continue
+        seen.add(cur.name)
+        out.append(cur)
+        for name in cur.subclass_names:
+            sub = index.classes.get(name)
+            if sub is not None:
+                frontier.append(sub)
+    return out
+
+
+def _gather(
+    index: PackageIndex,
+    cls: ClassInfo,
+    attr: str,
+    config_attrs: Set[str],
+    enums: EnumTable,
+) -> _Evidence:
+    ev = _Evidence()
+    chain: List[ClassInfo] = []
+    seen: Set[str] = set()
+    for variant in _subclass_closure(index, cls):
+        for owner in index.mro(variant):
+            if owner.name not in seen:
+                seen.add(owner.name)
+                chain.append(owner)
+    for owner in chain:
+        # Dataclass-style class-body annotations (``dirty: bool = False``).
+        for stmt in owner.node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == attr
+            ):
+                _classify_annotation(stmt.annotation, ev)
+                if stmt.value is not None and not (
+                    isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == "field"
+                ):
+                    _classify_value(stmt.value, ev, config_attrs, enums)
+    for owner in chain:
+        for fn in owner.methods.values():
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    if any(_self_attr(t, attr) for t in node.targets):
+                        _classify_value(node.value, ev, config_attrs, enums)
+                        bound = _config_bound(node.value, config_attrs)
+                        if bound is not None:
+                            ev.bound = ev.bound or bound
+                elif isinstance(node, ast.AnnAssign):
+                    if _self_attr(node.target, attr):
+                        _classify_annotation(node.annotation, ev)
+                        if node.value is not None:
+                            _classify_value(node.value, ev, config_attrs, enums)
+                            bound = _config_bound(node.value, config_attrs)
+                            if bound is not None:
+                                ev.bound = ev.bound or bound
+                elif isinstance(node, ast.AugAssign):
+                    if _self_attr(node.target, attr):
+                        probe = _Evidence()
+                        _classify_value(node.value, probe, config_attrs, enums)
+                        if probe.floats or isinstance(node.op, ast.Div):
+                            ev.aug_float += 1
+                        elif probe.ints or probe.bools:
+                            ev.aug_int += 1
+                        else:
+                            ev.aug_unknown += 1
+                elif isinstance(node, ast.Compare):
+                    involved = any(
+                        _self_attr(side, attr)
+                        for side in [node.left, *node.comparators]
+                    )
+                    if involved:
+                        bound = _config_bound(node, config_attrs)
+                        if bound is not None:
+                            ev.bound = ev.bound or bound
+    return ev
+
+
+def _narrow_int(values: Set[int]) -> str:
+    lo, hi = min(values), max(values)
+    if -128 <= lo and hi <= 127:
+        return "int8"
+    if -32768 <= lo and hi <= 32767:
+        return "int16"
+    return "int64"
+
+
+def _decide(
+    ev: _Evidence, unit: Optional[str], classification: str
+) -> FieldType:
+    """Turn evidence + unit into a concrete (dtype, shape, kind)."""
+    dtype = "unknown"
+    kind = "unknown"
+    evidence: List[str] = []
+    enum_values: Optional[List[int]] = None
+
+    if unit is not None:
+        evidence.append(f"units annotation: {unit}")
+    if ev.bound is not None:
+        evidence.append(f"bounded by {ev.bound}")
+
+    if ev.vector:
+        dtype = ev.element or "float64"
+        kind = "per_core_vector"
+        evidence.append("vector sized at construction")
+    elif ev.container is not None:
+        dtype, kind = "object", "container"
+        evidence.append(f"container annotation/construction ({ev.container})")
+    elif ev.aug_float or (
+        (ev.aug_int or ev.aug_unknown or ev.arithmetic)
+        and (ev.floats or unit in FLOAT_UNITS)
+    ):
+        dtype, kind = "float64", "accumulator"
+        evidence.append("augmented/arithmetic float updates (accumulator)")
+    elif unit in FLOAT_UNITS:
+        dtype, kind = "float64", "float"
+    elif unit in INT_UNITS:
+        dtype, kind = "int64", "counter"
+    elif ev.floats:
+        dtype, kind = "float64", "float"
+        evidence.append("float constant/arithmetic assignments")
+    elif ev.bools and not ev.ints and not ev.aug_int:
+        dtype, kind = "bool", "bool-flag"
+        evidence.append("boolean constants/predicates only")
+    elif ev.ints or ev.aug_int or (ev.aug_unknown and not ev.objects):
+        if (
+            len(ev.int_values) >= 2
+            and len(ev.int_values) <= 16
+            and not ev.aug_int
+            and not ev.aug_unknown
+            and not ev.arithmetic
+            and (ev.enum_refs or ev.ints == len(ev.int_values))
+        ):
+            dtype = _narrow_int(ev.int_values)
+            kind = "enum"
+            enum_values = sorted(ev.int_values)
+            evidence.append(
+                ("enum member assignments, values "
+                 if ev.enum_refs else "closed set of int constants ")
+                + str(enum_values)
+            )
+        else:
+            dtype = "int64"
+            kind = "counter" if ev.aug_int else "bounded-int"
+            evidence.append(
+                "integer assignments"
+                + (" with += updates" if ev.aug_int else "")
+            )
+    elif ev.strs:
+        dtype, kind = "object", "str"
+        evidence.append("string constants")
+    elif ev.objects or ev.nones:
+        dtype, kind = "object", "reference"
+        evidence.append("object/None assignments")
+
+    if dtype == "unknown" and unit is not None:
+        dtype = "float64" if unit in FLOAT_UNITS else "int64"
+        kind = "float" if unit in FLOAT_UNITS else "counter"
+
+    if ev.nones and dtype not in ("object", "unknown"):
+        evidence.append("nullable (also assigned None)")
+
+    if kind == "container":
+        shape = "ragged"
+    elif classification == PER_CORE:
+        shape = "(n_cores,)"
+    elif kind == "per_core_vector":
+        shape = "(n_cores,)"
+    else:
+        shape = "scalar"
+
+    return FieldType(
+        key="", owner="", attr="", classification=classification,
+        dtype=dtype, shape=shape, kind=kind, evidence=evidence,
+        bound=ev.bound, enum_values=enum_values,
+    )
+
+
+def infer_field_types(
+    index: PackageIndex,
+    fields: Sequence[FieldClass],
+    config_model: Optional[ConfigModel] = None,
+) -> List[FieldType]:
+    """Infer a concrete dtype/shape for every classified swept field."""
+    config_attrs: Set[str] = set()
+    if config_model is not None:
+        for names in config_model.attrs.values():
+            config_attrs.update(names)
+    enums = build_enum_table(index)
+
+    out: List[FieldType] = []
+    for fc in fields:
+        cls = index.classes.get(fc.owner)
+        if cls is None:
+            out.append(
+                FieldType(
+                    key=fc.key, owner=fc.owner, attr=fc.attr,
+                    classification=fc.classification, dtype="unknown",
+                    shape="scalar", kind="unknown",
+                    evidence=[f"owning class {fc.owner!r} not in index"],
+                )
+            )
+            continue
+        ev = _gather(index, cls, fc.attr, config_attrs, enums)
+        unit = index.attr_unit(cls, fc.attr)
+        ft = _decide(ev, unit, fc.classification)
+        ft.key, ft.owner, ft.attr = fc.key, fc.owner, fc.attr
+        out.append(ft)
+    out.sort(key=lambda f: f.key)
+    return out

@@ -1,0 +1,620 @@
+"""Phase extraction and stage-schedule construction (SCHED rules).
+
+A *phase* is one unit of per-cycle work observed in the driver loop: a
+component entry (``Core.step``, ``BudgetController.end_cycle`` — all
+call sites with the same label inside one top-level loop statement merge
+into one phase) or a single driver-level statement (the glue reads the
+SoA kernel must vectorize).  Phases are connected by data dependences
+recovered from the same abstractly-executed event stream the flow and
+kernel passes walk:
+
+* **flow** edge  — phase A writes a location that phase B reads later in
+  the observed cycle order (producer → consumer);
+* **anti** edge — phase A reads a location that phase B overwrites later
+  (A must observe the pre-update value).
+
+Write/write pairs deliberately create *no* edge: two writers are ordered
+only if a dependence chain orders them, and a field written by two
+unordered phases is exactly the contract violation SCHED002 reports.
+Accesses in mutually-exclusive ``if``/``else`` arms of the driver body
+(``core.step(...)`` vs ``core.idle_cycle(...)``) are tracked with branch
+contexts and never ordered against each other.
+
+The DAG is condensed (Tarjan SCCs — a non-trivial SCC is SCHED001, the
+members fuse into one serialized stage) and levelled into the minimal
+stage schedule: each stage is proven either **per-core-parallel** (every
+write in it stays on the sweep's own replicated element and is
+classified ``per_core`` by the kernel coupling taxonomy) or
+**serialized** (it touches cross-core or global state — the PTB grant
+vectors, the balancer pipe, coherence servicing).
+
+SCHED003 is the cross-check against ``kernel-report.json``: the kernel
+pass treats *any* replicated access inside the sweep as the element's
+own (``cores[i]``), so a skewed index (``cores[(i + 1) % n]``) silently
+passes as per-core there.  The phase walker inspects subscript indices
+and flags per-core-classified fields reached through a non-loop-index
+subscript — a cross-core edge contradicting the coupling report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..flow.effects import EffectAnalyzer, Instance, build_instance_graph
+from ..flow.hazards import (
+    ROOT_KEY,
+    TickEvent,
+    _display,
+    _per_instance,
+    _replicated_root,
+    _TickSink,
+    _TickState,
+    _TickWalker,
+)
+from ..flow.model import ClassInfo, PackageIndex
+from ..kernel.coupling import PER_CORE, FieldClass, _is_observer_event
+from ..lint import Finding
+
+#: Stage kinds.
+PARALLEL = "per_core_parallel"
+SERIAL = "serialized"
+
+BranchCtx = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class EventMeta:
+    """Schedule-specific context for one tick event (index-aligned)."""
+
+    segment: int
+    branch: BranchCtx
+    skewed: bool
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One top-level statement of the cycle-loop body."""
+
+    index: int
+    line: int
+    source: str
+
+
+class _PhaseState(_TickState):
+    def __init__(self) -> None:
+        super().__init__()
+        self.segment = -1
+        self.branch: BranchCtx = ()
+        self.next_branch = 0
+        #: simple loop-index variable names seen on ``for i in ...``.
+        self.index_vars: Set[str] = set()
+        #: replicated-container key reached through a skewed subscript in
+        #: the current statement, e.g. ``cores[(i + 1) % n]``.
+        self.skew_key: Optional[str] = None
+        self.meta: List[EventMeta] = []
+
+
+class _PhaseSink(_TickSink):
+    """Tick sink that records segment/branch/skew metadata per event."""
+
+    def _emit(self, kind, access, label, receiver_key) -> None:
+        super()._emit(kind, access, label, receiver_key)
+        state: _PhaseState = self.state
+        root = _replicated_root(access.loc_key)
+        skewed = state.skew_key is not None and root == state.skew_key
+        state.meta.append(EventMeta(state.segment, state.branch, skewed))
+
+
+class _PhaseWalker(_TickWalker):
+    """Tick walker that tracks branch arms and skewed sweep subscripts."""
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        state: _PhaseState = self.state
+        state.skew_key = None
+        if isinstance(stmt, ast.If):
+            if not self.sink.muted:
+                state.pos += 1
+            self.eval(stmt.test)
+            bid = state.next_branch
+            state.next_branch += 1
+            saved = state.branch
+            state.branch = saved + ((bid, 0),)
+            try:
+                self.exec_body(stmt.body)
+            finally:
+                state.branch = saved
+            if stmt.orelse:
+                state.branch = saved + ((bid, 1),)
+                try:
+                    self.exec_body(stmt.orelse)
+                finally:
+                    state.branch = saved
+            return
+        if isinstance(stmt, ast.For):
+            self._note_index_vars(stmt.target)
+        super().exec_stmt(stmt)
+
+    def _note_index_vars(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.state.index_vars.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._note_index_vars(elt)
+
+    def eval(self, expr: Optional[ast.expr]):
+        if isinstance(expr, ast.Subscript) and self.state.group_stack:
+            base = self._peek(expr.value)
+            if isinstance(base, Instance) and base.replicated:
+                sl = expr.slice
+                plain = (
+                    isinstance(sl, ast.Name)
+                    and sl.id in self.state.index_vars
+                )
+                if not plain:
+                    self.state.skew_key = base.key
+        return super().eval(expr)
+
+
+def extract_phase_events(
+    index: PackageIndex,
+    root_cls: ClassInfo,
+    driver_fn: ast.FunctionDef,
+    loop: ast.stmt,
+    analyzer: EffectAnalyzer,
+) -> Tuple[_PhaseState, Instance, List[Segment]]:
+    """Tick extraction with segment/branch tracking (same two-pass shape
+    as the flow and kernel extractors: muted prologue, muted prime pass,
+    then the live walk that produces the event stream)."""
+    root = build_instance_graph(index, root_cls, ROOT_KEY)
+    state = _PhaseState()
+    sink = _PhaseSink(analyzer, state, f"{root_cls.name}.{driver_fn.name}")
+    walker = _PhaseWalker(
+        analyzer, root_cls.module, root, root_cls, root_cls, {}, sink,
+        state=state,
+    )
+    sink.muted += 1
+    for stmt in driver_fn.body:
+        if stmt is loop:
+            break
+        walker.exec_stmt(stmt)
+    for stmt in loop.body:
+        walker.exec_stmt(stmt)
+    sink.muted -= 1
+    if isinstance(loop, ast.For):
+        walker.bind_loop_target(loop.target, loop.iter)
+    segments: List[Segment] = []
+    for seg, stmt in enumerate(loop.body):
+        state.segment = seg
+        source = ast.unparse(stmt).splitlines()[0][:80]
+        segments.append(Segment(seg, stmt.lineno, source))
+        walker.exec_stmt(stmt)
+    return state, root, segments
+
+
+# --------------------------------------------------------------------------- #
+# Phase graph                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Phase:
+    """A merged unit of per-cycle work (node in the schedule DAG)."""
+
+    pid: int
+    name: str
+    segment: int
+    label: str
+    driver: bool
+    events: List[int] = field(default_factory=list)  # event indices
+
+    def locs(
+        self, state: _PhaseState, kind: str
+    ) -> List[str]:
+        out = sorted({
+            _display(state.events[i].access.loc_key)
+            for i in self.events
+            if state.events[i].kind == kind
+        })
+        return out
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One data dependence between two phases."""
+
+    src: int
+    dst: int
+    loc: str   # display loc key
+    kind: str  # "flow" | "anti"
+
+
+def build_phases(state: _PhaseState) -> Tuple[List[Phase], Dict[int, int]]:
+    """Group live events into phases; return (phases, event idx -> pid).
+
+    Component entries merge on (segment, label); driver-level glue gets
+    one micro-phase per statement position so interleaved glue cannot
+    manufacture spurious cycles with the entries it surrounds.
+    """
+    phases: List[Phase] = []
+    by_key: Dict[Tuple, int] = {}
+    of_event: Dict[int, int] = {}
+    for idx, event in enumerate(state.events):
+        if _is_observer_event(event):
+            continue
+        meta = state.meta[idx]
+        if event.receiver_key is not None:
+            key = (meta.segment, event.label)
+            name = f"s{meta.segment}:{event.label}"
+            driver = False
+        else:
+            key = (meta.segment, event.label, event.pos)
+            name = f"s{meta.segment}:{event.label}@{event.pos}"
+            driver = True
+        pid = by_key.get(key)
+        if pid is None:
+            pid = len(phases)
+            by_key[key] = pid
+            phases.append(
+                Phase(pid=pid, name=name, segment=meta.segment,
+                      label=event.label, driver=driver)
+            )
+        phases[pid].events.append(idx)
+        of_event[idx] = pid
+    return phases, of_event
+
+
+def _exclusive(a: BranchCtx, b: BranchCtx) -> bool:
+    """True when two branch contexts sit in different arms of one if."""
+    arms = dict(a)
+    return any(bid in arms and arms[bid] != arm for bid, arm in b)
+
+
+def build_edges(
+    state: _PhaseState, of_event: Dict[int, int]
+) -> List[Edge]:
+    """Flow (w→r) and anti (r→w) dependences between distinct phases."""
+    by_loc: Dict[str, List[int]] = {}
+    for idx in of_event:
+        by_loc.setdefault(state.events[idx].access.loc_key, []).append(idx)
+
+    edges: Set[Edge] = set()
+    for loc_key in sorted(by_loc):
+        indices = by_loc[loc_key]
+        writes = [i for i in indices if state.events[i].kind == "w"]
+        reads = [i for i in indices if state.events[i].kind == "r"]
+        if not writes:
+            continue
+        display = _display(loc_key)
+        for w in writes:
+            for r in reads:
+                pw, pr = of_event[w], of_event[r]
+                if pw == pr:
+                    continue
+                if _exclusive(state.meta[w].branch, state.meta[r].branch):
+                    continue
+                if w < r:
+                    edges.add(Edge(pw, pr, display, "flow"))
+                else:
+                    edges.add(Edge(pr, pw, display, "anti"))
+    return sorted(edges, key=lambda e: (e.src, e.dst, e.loc, e.kind))
+
+
+# --------------------------------------------------------------------------- #
+# Condensation + stages                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def _tarjan(n: int, adj: Dict[int, Set[int]]) -> List[List[int]]:
+    """Iterative Tarjan SCC; components returned in deterministic order."""
+    index_of: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [0]
+
+    for start in range(n):
+        if start in index_of:
+            continue
+        work: List[Tuple[int, int]] = [(start, 0)]
+        call_stack: List[int] = []
+        while work:
+            node, pi = work.pop()
+            if pi == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+                call_stack.append(node)
+            succs = sorted(adj.get(node, ()))
+            advanced = False
+            for j in range(pi, len(succs)):
+                nxt = succs[j]
+                if nxt not in index_of:
+                    work.append((node, j + 1))
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index_of[nxt])
+            if advanced:
+                continue
+            call_stack.pop()
+            if call_stack:
+                parent = call_stack[-1]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                comp: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(comp))
+    return sccs
+
+
+@dataclass
+class Stage:
+    """One step of the minimal schedule."""
+
+    index: int
+    level: int
+    kind: str           # PARALLEL | SERIAL
+    reason: str
+    phases: List[Phase] = field(default_factory=list)
+
+
+def _phase_parallel(
+    phase: Phase,
+    state: _PhaseState,
+    classification: Dict[str, str],
+) -> Tuple[bool, str]:
+    """Prove one phase vectorizable across cores, or say why not."""
+    blocking: List[str] = []
+    wrote = False
+    for idx in phase.events:
+        event = state.events[idx]
+        if event.kind != "w":
+            continue
+        wrote = True
+        display = _display(event.access.loc_key)
+        if state.meta[idx].skewed:
+            blocking.append(f"{display} (skewed core index)")
+        elif not _per_instance(event, state):
+            blocking.append(f"{display} (shared/global write)")
+        elif classification.get(display) != PER_CORE:
+            blocking.append(
+                f"{display} ({classification.get(display, 'unclassified')})"
+            )
+    if blocking:
+        uniq = sorted(set(blocking))
+        return False, "writes " + ", ".join(uniq[:4]) + (
+            f" (+{len(uniq) - 4} more)" if len(uniq) > 4 else ""
+        )
+    if wrote:
+        return True, "all writes stay on the owning core's element state"
+    return True, "read-only (pure compute / broadcast reads)"
+
+
+def build_schedule(
+    state: _PhaseState,
+    phases: List[Phase],
+    edges: List[Edge],
+    fields: List[FieldClass],
+) -> Tuple[List[Stage], List[Finding], Dict[int, int]]:
+    """Condense the phase DAG into stages; return SCHED001/002/003 too.
+
+    Returns (stages, findings, phase id -> stage index).
+    """
+    adj: Dict[int, Set[int]] = {}
+    for edge in edges:
+        adj.setdefault(edge.src, set()).add(edge.dst)
+
+    sccs = _tarjan(len(phases), adj)
+    comp_of: Dict[int, int] = {}
+    for cid, comp in enumerate(sccs):
+        for pid in comp:
+            comp_of[pid] = cid
+
+    findings: List[Finding] = []
+    for comp in sccs:
+        if len(comp) < 2:
+            continue
+        names = sorted(phases[p].name for p in comp)
+        first = phases[comp[0]].events[0]
+        access = state.events[first].access
+        findings.append(
+            Finding(
+                path=access.file,
+                line=access.line,
+                col=access.col,
+                rule_id="SCHED001",
+                message=(
+                    "cycle in the per-cycle phase DAG: "
+                    + " <-> ".join(names)
+                    + " depend on each other's state within one cycle; "
+                    "they fuse into a single serialized stage"
+                ),
+                fingerprint="SCHED001|" + "|".join(names),
+            )
+        )
+
+    # Condensed DAG + longest-path levels (deterministic Kahn order).
+    n_comp = len(sccs)
+    cadj: Dict[int, Set[int]] = {}
+    indeg: Dict[int, int] = {c: 0 for c in range(n_comp)}
+    for edge in edges:
+        a, b = comp_of[edge.src], comp_of[edge.dst]
+        if a == b:
+            continue
+        if b not in cadj.setdefault(a, set()):
+            cadj[a].add(b)
+            indeg[b] += 1
+    level: Dict[int, int] = {}
+    ready = sorted(c for c in range(n_comp) if indeg[c] == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        level.setdefault(node, 0)
+        added = []
+        for nxt in cadj.get(node, ()):
+            level[nxt] = max(level.get(nxt, 0), level[node] + 1)
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                added.append(nxt)
+        if added:
+            ready = sorted(ready + added)
+
+    classification = {f.key: f.classification for f in fields}
+
+    # Group phases into (level, kind) stages.
+    buckets: Dict[Tuple[int, int], List[Tuple[Phase, str]]] = {}
+    fused_serial: Set[int] = {
+        comp_of[p] for comp in sccs if len(comp) > 1 for p in comp
+    }
+    for phase in phases:
+        cid = comp_of[phase.pid]
+        lvl = level.get(cid, 0)
+        if cid in fused_serial:
+            ok, why = False, "fused dependence cycle (SCHED001)"
+        else:
+            ok, why = _phase_parallel(phase, state, classification)
+        key = (lvl, 0 if ok else 1)
+        buckets.setdefault(key, []).append((phase, why))
+
+    stages: List[Stage] = []
+    stage_of_phase: Dict[int, int] = {}
+    for lvl, kind_rank in sorted(buckets):
+        members = sorted(buckets[(lvl, kind_rank)], key=lambda p: p[0].name)
+        kind = PARALLEL if kind_rank == 0 else SERIAL
+        why = sorted({w for _, w in members})
+        stage = Stage(
+            index=len(stages),
+            level=lvl,
+            kind=kind,
+            reason="; ".join(why[:3]) + (" …" if len(why) > 3 else ""),
+            phases=[p for p, _ in members],
+        )
+        for p, _ in members:
+            stage_of_phase[p.pid] = stage.index
+        stages.append(stage)
+
+    findings.extend(
+        _detect_unordered_writers(state, phases, comp_of, cadj, sccs)
+    )
+    findings.extend(_detect_contradictions(state, fields))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return stages, findings, stage_of_phase
+
+
+def _reachable(cadj: Dict[int, Set[int]], src: int, dst: int) -> bool:
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        for nxt in cadj.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _detect_unordered_writers(
+    state: _PhaseState,
+    phases: List[Phase],
+    comp_of: Dict[int, int],
+    cadj: Dict[int, Set[int]],
+    sccs: List[List[int]],
+) -> List[Finding]:
+    """SCHED002: one field written by two phases no dependence orders."""
+    writers: Dict[str, Dict[int, List[int]]] = {}
+    for phase in phases:
+        for idx in phase.events:
+            event = state.events[idx]
+            if event.kind != "w":
+                continue
+            writers.setdefault(event.access.loc_key, {}).setdefault(
+                phase.pid, []
+            ).append(idx)
+
+    findings: List[Finding] = []
+    for loc_key in sorted(writers):
+        by_phase = writers[loc_key]
+        pids = sorted(by_phase)
+        if len(pids) < 2:
+            continue
+        display = _display(loc_key)
+        for i, pa in enumerate(pids):
+            for pb in pids[i + 1:]:
+                ca, cb = comp_of[pa], comp_of[pb]
+                if ca == cb:
+                    continue  # fused cycle: already SCHED001
+                if _reachable(cadj, ca, cb) or _reachable(cadj, cb, ca):
+                    continue
+                if all(
+                    _exclusive(state.meta[a].branch, state.meta[b].branch)
+                    for a in by_phase[pa]
+                    for b in by_phase[pb]
+                ):
+                    continue  # mutually-exclusive if/else arms
+                a_ev = state.events[by_phase[pa][0]].access
+                b_ev = state.events[by_phase[pb][0]].access
+                name_a, name_b = sorted(
+                    (phases[pa].name, phases[pb].name)
+                )
+                findings.append(
+                    Finding(
+                        path=a_ev.file,
+                        line=a_ev.line,
+                        col=a_ev.col,
+                        rule_id="SCHED002",
+                        message=(
+                            f"'{display}' is written by {name_a} and "
+                            f"{name_b} with no dependence path ordering "
+                            f"them (other write at {b_ev.file}:"
+                            f"{b_ev.line}); the stage schedule cannot "
+                            "sequence these updates"
+                        ),
+                        fingerprint=f"SCHED002|{display}|{name_a}|{name_b}",
+                    )
+                )
+    return findings
+
+
+def _detect_contradictions(
+    state: _PhaseState, fields: List[FieldClass]
+) -> List[Finding]:
+    """SCHED003: per-core-classified field reached via a skewed index."""
+    per_core = {f.key for f in fields if f.classification == PER_CORE}
+    findings: List[Finding] = []
+    seen: Set[str] = set()
+    for idx, event in enumerate(state.events):
+        if not state.meta[idx].skewed:
+            continue
+        display = _display(event.access.loc_key)
+        if display not in per_core or display in seen:
+            continue
+        seen.add(display)
+        findings.append(
+            Finding(
+                path=event.access.file,
+                line=event.access.line,
+                col=event.access.col,
+                rule_id="SCHED003",
+                message=(
+                    f"'{display}' is classified per_core in the kernel "
+                    "coupling report but is accessed through a skewed "
+                    "core index inside the sweep — a cross-core edge "
+                    "the coupling taxonomy cannot see"
+                ),
+                fingerprint=f"SCHED003|{display}",
+            )
+        )
+    return findings

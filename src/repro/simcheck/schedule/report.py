@@ -1,0 +1,158 @@
+"""schedule-report.json construction and the human table view.
+
+The report is the machine-checkable kernel contract: the SoA rewrite
+implements exactly these stages in this order, vectorizes the
+``per_core_parallel`` ones as array ops over ``(n_cores,)`` columns
+using the inferred dtypes, and keeps the ``serialized`` ones as explicit
+sequential steps.  Output is deterministic (sorted keys, sorted lists,
+no timestamps) so two runs over the same tree produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from ..lint import Finding
+from .dtypes import FieldType
+from .phases import PARALLEL, Edge, Phase, Segment, Stage, _PhaseState
+
+REPORT_VERSION = 1
+
+
+def build_report(
+    driver: str,
+    segments: Sequence[Segment],
+    state: _PhaseState,
+    stages: Sequence[Stage],
+    field_types: Sequence[FieldType],
+    edges: Sequence[Edge],
+    findings: Sequence[Finding],
+    phases: Sequence[Phase],
+) -> Dict[str, object]:
+    per_rule: Dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+    parallel = sum(1 for s in stages if s.kind == PARALLEL)
+    dtype_counts: Dict[str, int] = {}
+    for ft in field_types:
+        dtype_counts[ft.dtype] = dtype_counts.get(ft.dtype, 0) + 1
+
+    name_of = {p.pid: p.name for p in phases}
+    return {
+        "version": REPORT_VERSION,
+        "driver": driver,
+        "summary": {
+            "stages": len(stages),
+            "parallel_stages": parallel,
+            "serialized_stages": len(stages) - parallel,
+            "phases": len(phases),
+            "fields": len(field_types),
+            "dtypes": dict(sorted(dtype_counts.items())),
+            "sched_findings": dict(sorted(per_rule.items())),
+        },
+        "segments": [
+            {"index": s.index, "line": s.line, "source": s.source}
+            for s in segments
+        ],
+        "stages": [
+            {
+                "index": s.index,
+                "level": s.level,
+                "kind": s.kind,
+                "reason": s.reason,
+                "phases": [
+                    {
+                        "name": p.name,
+                        "entry": p.label,
+                        "segment": p.segment,
+                        "reads": p.locs(state, "r"),
+                        "writes": p.locs(state, "w"),
+                    }
+                    for p in s.phases
+                ],
+            }
+            for s in stages
+        ],
+        "fields": [
+            {
+                "field": ft.key,
+                "class": ft.owner,
+                "attr": ft.attr,
+                "classification": ft.classification,
+                "dtype": ft.dtype,
+                "shape": ft.shape,
+                "kind": ft.kind,
+                "evidence": ft.evidence,
+                "bound": ft.bound,
+                "enum_values": ft.enum_values,
+            }
+            for ft in field_types
+        ],
+        "edges": [
+            {
+                "src": name_of.get(e.src, str(e.src)),
+                "dst": name_of.get(e.dst, str(e.dst)),
+                "loc": e.loc,
+                "kind": e.kind,
+            }
+            for e in edges
+        ],
+    }
+
+
+def render_json(report: Dict[str, object]) -> str:
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_table(report: Dict[str, object]) -> str:
+    """Human view: the stage schedule, then the field type table."""
+    lines: List[str] = []
+    summary = report["summary"]
+    lines.append(f"driver: {report['driver']}")
+    lines.append(
+        f"stages: {summary['stages']} "
+        f"({summary['parallel_stages']} per-core-parallel, "
+        f"{summary['serialized_stages']} serialized)   "
+        f"phases: {summary['phases']}   fields: {summary['fields']}"
+    )
+    lines.append("")
+
+    for stage in report["stages"]:
+        mark = "||" if stage["kind"] == PARALLEL else "->"
+        lines.append(
+            f"stage {stage['index']:>2} {mark} {stage['kind']:<17} "
+            f"{stage['reason']}"
+        )
+        entries = sorted({p["entry"] for p in stage["phases"]})
+        for entry in entries:
+            writes = sorted({
+                w for p in stage["phases"] if p["entry"] == entry
+                for w in p["writes"]
+            })
+            suffix = f"  writes: {', '.join(writes[:4])}" if writes else ""
+            if len(writes) > 4:
+                suffix += f" (+{len(writes) - 4})"
+            lines.append(f"          {entry}{suffix}")
+    lines.append("")
+
+    rows = [
+        (f["field"], f["dtype"], f["shape"], f["kind"])
+        for f in report["fields"]
+    ]
+    if rows:
+        width_key = max(len(r[0]) for r in rows)
+        width_dt = max(len(r[1]) for r in rows)
+        width_sh = max(len(r[2]) for r in rows)
+        header = (
+            f"{'FIELD':<{width_key}}  {'DTYPE':<{width_dt}}  "
+            f"{'SHAPE':<{width_sh}}  KIND"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for key, dtype, shape, kind in rows:
+            lines.append(
+                f"{key:<{width_key}}  {dtype:<{width_dt}}  "
+                f"{shape:<{width_sh}}  {kind}"
+            )
+    return "\n".join(lines) + "\n"

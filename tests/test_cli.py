@@ -1,10 +1,13 @@
 """Tests for the report-generation CLI."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.analysis.cli import RENDERERS, main
+from repro.analysis.cli import RENDERERS, _emit_bench, load_bench, main
+
+REPO = Path(__file__).resolve().parents[1]
 
 
 class TestCLI:
@@ -87,3 +90,40 @@ class TestParallelCLI:
             assert e["simulated"] > 0
             assert e["planned"] >= e["simulated"]
             assert e["mem_hits"] >= e["simulated"]
+
+
+class TestBenchLoader:
+    """load_bench normalises every entry to one shape and round-trips."""
+
+    def test_repo_file_has_uniform_shape(self):
+        entries = load_bench(REPO / "BENCH_runner.json")
+        assert entries, "repo BENCH_runner.json should have entries"
+        for e in entries:
+            assert "schema_version" in e
+            assert "git_sha" in e  # null for legacy v1 entries
+
+    def test_round_trip_preserves_entries(self, tmp_path):
+        src = REPO / "BENCH_runner.json"
+        copy = tmp_path / "BENCH_runner.json"
+        copy.write_text(src.read_text())
+        before = load_bench(copy)
+        _emit_bench(copy, {"schema_version": 2, "git_sha": "deadbee",
+                           "jobs": 1, "wall_seconds": 0.1})
+        after = load_bench(copy)
+        assert after[:-1] == before
+        assert after[-1]["git_sha"] == "deadbee"
+
+    def test_legacy_entry_stamped_on_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            {"entries": [{"jobs": 4, "wall_seconds": 1.0}]}
+        ))
+        (entry,) = load_bench(path)
+        assert entry["schema_version"] == 1
+        assert entry["git_sha"] is None
+
+    def test_corrupt_file_loads_empty(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        assert load_bench(path) == []
+        assert load_bench(tmp_path / "missing.json") == []

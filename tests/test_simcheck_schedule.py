@@ -1,0 +1,465 @@
+"""simcheck schedule pass: stage extraction on fixtures, SCHED rule
+seeding, dtype-inference edge cases, real-tree contract, determinism,
+runtime validation and the CLI surface (including ``simcheck all``)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simcheck.schedule import (
+    PARALLEL,
+    SERIAL,
+    ScheduleValidator,
+    analyze_schedule,
+    render_json,
+)
+from repro.simcheck.schedule.phases import _tarjan
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+SRC_REPRO = SRC / "repro"
+
+
+def write_pkg(root: Path, files: dict) -> Path:
+    """Materialise a fixture package under ``root / 'pkg'``."""
+    pkg = root / "pkg"
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    for sub in {p.parent for p in pkg.rglob("*.py")} | {pkg}:
+        init = sub / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    return pkg
+
+
+def run_cli(*argv, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.simcheck", *argv],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# fixtures                                                                    #
+# --------------------------------------------------------------------------- #
+
+# Clean two-stage schedule: a per-core sweep phase (every write is to
+# per-core state) followed by a serialized global accumulation, plus the
+# dtype-inference edge cases from the issue: a bool spin flag, an
+# enum-like int field, an IntEnum-assigned field, a float energy
+# accumulator, and a CMPConfig-bounded ROB occupancy counter.
+CLEAN_PKG = {
+    "config.py": (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class CMPConfig:\n"
+        "    num_cores: int = 2\n"
+        "    rob_entries: int = 128\n"
+    ),
+    "phases.py": (
+        "from enum import IntEnum\n"
+        "class Phase(IntEnum):\n"
+        "    BUSY = 0\n"
+        "    LOCK = 1\n"
+        "    BARRIER = 2\n"
+    ),
+    "core.py": (
+        "from .phases import Phase\n"
+        "class Core:\n"
+        "    def __init__(self, cfg):\n"
+        "        self.cfg = cfg\n"
+        "        self.spinning = False\n"
+        "        self.state = 0\n"
+        "        self.phase = Phase.BUSY\n"
+        "        self.rob_occ = 0\n"
+        "        self.energy = 0.0\n"
+        "    def step(self, now):\n"
+        "        self.spinning = self.state > 1\n"
+        "        if self.state == 0:\n"
+        "            self.state = 1\n"
+        "        elif self.rob_occ < self.cfg.rob_entries:\n"
+        "            self.state = 2\n"
+        "            self.rob_occ += 1\n"
+        "        self.phase = Phase.LOCK if self.spinning else Phase.BUSY\n"
+        "        self.energy += now * 0.25\n"
+    ),
+    "power.py": (
+        "class PowerModel:\n"
+        "    def __init__(self):\n"
+        "        self.total = 0.0\n"
+        "    def end_cycle(self, now):\n"
+        "        self.total += now * 1.0\n"
+    ),
+    "sim/cmp.py": (
+        "from ..config import CMPConfig\n"
+        "from ..core import Core\n"
+        "from ..power import PowerModel\n"
+        "class Simulator:\n"
+        "    def __init__(self, cfg: CMPConfig):\n"
+        "        self.cfg = cfg\n"
+        "        self.cores = [Core(cfg) for _ in range(cfg.num_cores)]\n"
+        "        self.power = PowerModel()\n"
+        "        self.cycle = 0\n"
+        "    def run(self, max_cycles: int):\n"
+        "        self.cycle = 0\n"
+        "        while self.cycle < max_cycles:\n"
+        "            for core in self.cores:\n"
+        "                core.step(self.cycle)\n"
+        "            self.power.end_cycle(self.cycle)\n"
+        "            self.cycle += 1\n"
+    ),
+}
+
+# Deliberately reordered/unanchored phases: Stats.stamp is written by
+# two component phases with no dependence path between them, so the
+# schedule cannot sequence the updates -> SCHED002.
+UNORDERED_PKG = {
+    "core.py": (
+        "class Core:\n"
+        "    def __init__(self, cid):\n"
+        "        self.cid = cid\n"
+        "        self.retired = 0\n"
+        "    def step(self, now):\n"
+        "        self.retired += 1\n"
+    ),
+    "stats.py": (
+        "class Stats:\n"
+        "    def __init__(self):\n"
+        "        self.stamp = 0\n"
+        "    def mark_begin(self, now):\n"
+        "        self.stamp = now\n"
+        "    def mark_end(self, now):\n"
+        "        self.stamp = now + 1\n"
+    ),
+    "sim/cmp.py": (
+        "from ..core import Core\n"
+        "from ..stats import Stats\n"
+        "class Simulator:\n"
+        "    def __init__(self, n):\n"
+        "        self.cores = [Core(i) for i in range(n)]\n"
+        "        self.stats = Stats()\n"
+        "        self.cycle = 0\n"
+        "    def run(self, max_cycles):\n"
+        "        self.cycle = 0\n"
+        "        while self.cycle < max_cycles:\n"
+        "            for core in self.cores:\n"
+        "                core.step(self.cycle)\n"
+        "            self.stats.mark_begin(self.cycle)\n"
+        "            self.stats.mark_end(self.cycle)\n"
+        "            self.cycle += 1\n"
+    ),
+}
+
+# Skewed core index inside the sweep: `poked` is classified per-core by
+# the coupling taxonomy (every write is to a replicated instance inside
+# the sweep) but the write goes to a *neighbour*, contradicting the
+# per-core claim -> SCHED003.
+SKEWED_PKG = {
+    "core.py": (
+        "class Core:\n"
+        "    def __init__(self, cid):\n"
+        "        self.cid = cid\n"
+        "        self.retired = 0\n"
+        "        self.poked = 0\n"
+        "    def step(self, now):\n"
+        "        self.retired += 1\n"
+    ),
+    "sim/cmp.py": (
+        "from ..core import Core\n"
+        "class Simulator:\n"
+        "    def __init__(self, n):\n"
+        "        self.cores = [Core(i) for i in range(n)]\n"
+        "        self.cycle = 0\n"
+        "    def run(self, max_cycles):\n"
+        "        self.cycle = 0\n"
+        "        n = len(self.cores)\n"
+        "        while self.cycle < max_cycles:\n"
+        "            i = 0\n"
+        "            for core in self.cores:\n"
+        "                core.step(self.cycle)\n"
+        "                self.cores[(i + 1) % n].poked = 1\n"
+        "                i += 1\n"
+        "            self.cycle += 1\n"
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# stage extraction on fixtures                                                #
+# --------------------------------------------------------------------------- #
+
+
+class TestStageExtraction:
+    def test_clean_fixture_two_kinds_no_findings(self, tmp_path):
+        pkg = write_pkg(tmp_path, CLEAN_PKG)
+        sa = analyze_schedule(pkg)
+        assert sa.report is not None
+        assert sa.findings == []
+        kinds = {s.kind for s in sa.stages}
+        assert PARALLEL in kinds and SERIAL in kinds
+        # The sweep phase (Core.step) is proven per-core-parallel.
+        parallel_entries = {
+            p.label for s in sa.parallel_stages for p in s.phases
+        }
+        assert "Core.step" in parallel_entries
+        # The global accumulation is serialized.
+        serial_entries = {
+            p.label for s in sa.stages if s.kind == SERIAL for p in s.phases
+        }
+        assert "PowerModel.end_cycle" in serial_entries
+
+    def test_report_deterministic(self, tmp_path):
+        pkg = write_pkg(tmp_path, CLEAN_PKG)
+        first = render_json(analyze_schedule(pkg).report)
+        second = render_json(analyze_schedule(pkg).report)
+        assert first == second
+
+    def test_unordered_writers_flagged_sched002(self, tmp_path):
+        pkg = write_pkg(tmp_path, UNORDERED_PKG)
+        sa = analyze_schedule(pkg)
+        hits = [f for f in sa.findings if f.rule_id == "SCHED002"]
+        assert hits, [f.render() for f in sa.findings]
+        assert any("stats.stamp" in f.message for f in hits)
+
+    def test_skewed_core_index_flagged_sched003(self, tmp_path):
+        pkg = write_pkg(tmp_path, SKEWED_PKG)
+        sa = analyze_schedule(pkg)
+        hits = [f for f in sa.findings if f.rule_id == "SCHED003"]
+        assert hits, [f.render() for f in sa.findings]
+        assert any("poked" in f.message for f in hits)
+
+    def test_tarjan_condenses_cycles(self):
+        # 0 -> 1 -> 2 -> 0 is one SCC; 3 hangs off it.
+        sccs = _tarjan(4, {0: {1}, 1: {2}, 2: {0, 3}, 3: set()})
+        sizes = sorted(len(c) for c in sccs)
+        assert sizes == [1, 3]
+
+
+# --------------------------------------------------------------------------- #
+# dtype inference edge cases                                                  #
+# --------------------------------------------------------------------------- #
+
+
+class TestDtypeInference:
+    @pytest.fixture(scope="class")
+    def types(self, tmp_path_factory):
+        pkg = write_pkg(tmp_path_factory.mktemp("dtypes"), CLEAN_PKG)
+        sa = analyze_schedule(pkg)
+        assert sa.report is not None
+        return {ft.key: ft for ft in sa.field_types}
+
+    def test_no_unknown_dtypes(self, types):
+        assert not [k for k, ft in types.items() if ft.dtype == "unknown"]
+
+    def test_bool_spin_flag(self, types):
+        ft = types["cores[*].spinning"]
+        assert ft.dtype == "bool"
+        assert ft.kind == "bool-flag"
+        assert ft.shape == "(n_cores,)"
+
+    def test_enum_like_int_field(self, types):
+        ft = types["cores[*].state"]
+        assert ft.kind == "enum"
+        assert ft.dtype == "int8"
+        assert ft.enum_values == [0, 1, 2]
+
+    def test_intenum_member_assignments(self, types):
+        ft = types["cores[*].phase"]
+        assert ft.kind == "enum"
+        assert ft.dtype == "int8"
+        assert ft.enum_values == [0, 1]  # BUSY and LOCK are assigned
+
+    def test_float_accumulator_is_float64_never_float32(self, types):
+        ft = types["cores[*].energy"]
+        assert ft.kind == "accumulator"
+        assert ft.dtype == "float64"
+        assert not any(t.dtype == "float32" for t in types.values())
+
+    def test_config_bounded_rob_field(self, types):
+        ft = types["cores[*].rob_occ"]
+        assert ft.dtype == "int64"
+        assert ft.bound is not None and "rob_entries" in ft.bound
+
+
+# --------------------------------------------------------------------------- #
+# real tree: the kernel contract                                              #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def real_tree():
+    sa = analyze_schedule(SRC_REPRO)
+    assert sa.report is not None
+    return sa
+
+
+class TestRealTree:
+    def test_no_findings_no_unknown_dtypes(self, real_tree):
+        assert real_tree.findings == []
+        assert real_tree.unknown_types == []
+
+    def test_at_least_two_parallel_stages(self, real_tree):
+        assert len(real_tree.parallel_stages) >= 2
+
+    def test_driver_and_key_phases(self, real_tree):
+        assert real_tree.report["driver"] == "CMPSimulator.run"
+        labels = {p.label for p in real_tree.phases}
+        assert "Core.step" in labels
+        assert "BudgetController.end_cycle" in labels
+
+    def test_report_bytes_deterministic(self, real_tree):
+        again = analyze_schedule(SRC_REPRO)
+        assert render_json(again.report) == render_json(real_tree.report)
+
+    def test_core_step_is_serialized(self, real_tree):
+        # Core.step touches shared coherence/sync state, so the schedule
+        # must NOT claim it is per-core-parallel.
+        for stage in real_tree.parallel_stages:
+            assert "Core.step" not in {p.label for p in stage.phases}
+
+    def test_dtype_spot_checks(self, real_tree):
+        types = {ft.key: ft for ft in real_tree.field_types}
+        acc = types["thermal._energy_acc"]
+        assert acc.dtype == "float64"
+        assert acc.shape == "(n_cores,)"
+        sync = types["cores[*].sync_phase"]
+        assert sync.kind == "enum"
+        assert sync.enum_values == [0, 1, 2, 3]
+
+    def test_validator_clean_on_reference_run(self, real_tree):
+        from repro.config import CMPConfig
+        from repro.sim.cmp import CMPSimulator
+        from repro.simcheck.cli import _make_smoke_program
+
+        sim = CMPSimulator(
+            CMPConfig(num_cores=2), _make_smoke_program(2, 200),
+            "ptb", 0.5, "dynamic",
+        )
+        validator = ScheduleValidator(real_tree.report).attach(sim)
+        assert validator.wrapped > 0
+        result = sim.run(20_000)
+        assert result.cycles > 0
+        assert validator.violations() == []
+
+
+class TestValidatorUnit:
+    REPORT = {
+        "driver": "Sim.run",
+        "stages": [
+            {"index": 0, "kind": "serialized",
+             "phases": [{"entry": "A.first"}]},
+            {"index": 1, "kind": "per_core_parallel",
+             "phases": [{"entry": "C.mid"}]},
+            {"index": 2, "kind": "serialized",
+             "phases": [{"entry": "B.last"}]},
+        ],
+    }
+
+    def test_in_order_clean(self):
+        v = ScheduleValidator(self.REPORT)
+        v.calls = [
+            (0, 0, True, "A.first"), (None, 1, False, "C.mid"),
+            (0, 2, True, "B.last"),
+            (1, 0, True, "A.first"), (None, 1, False, "C.mid"),
+            (1, 2, True, "B.last"),
+        ]
+        assert v.violations() == []
+
+    def test_serialized_phase_out_of_order(self):
+        v = ScheduleValidator(self.REPORT)
+        v.calls = [
+            (0, 0, True, "A.first"), (0, 2, True, "B.last"),
+            (0, 0, True, "A.first"),  # stage 0 again, same cycle
+        ]
+        assert v.violations()
+
+    def test_parallel_call_after_later_serialized_stage(self):
+        v = ScheduleValidator(self.REPORT)
+        v.calls = [
+            (0, 0, True, "A.first"), (0, 2, True, "B.last"),
+            (None, 1, False, "C.mid"),  # stray sweep call after end
+        ]
+        assert v.violations()
+
+    def test_parallel_interleaving_allowed(self):
+        # Parallel stages commute across cores: repeated stage-1 calls
+        # never raise the watermark.
+        v = ScheduleValidator(self.REPORT)
+        v.calls = [
+            (0, 0, True, "A.first"),
+            (None, 1, False, "C.mid"), (None, 1, False, "C.mid"),
+            (0, 2, True, "B.last"),
+        ]
+        assert v.violations() == []
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+class TestCLI:
+    def test_schedule_report_and_exit_zero(self, tmp_path):
+        out = tmp_path / "schedule-report.json"
+        res = run_cli(
+            "schedule", str(SRC_REPRO), "--report", str(out),
+            "--baseline", str(REPO / ".simcheck-schedule-baseline.json"),
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        report = json.loads(out.read_text())
+        assert report["summary"]["parallel_stages"] >= 2
+        assert report["summary"].get("dtypes", {}).get("unknown", 0) == 0
+
+    def test_schedule_findings_gate_exit_code(self, tmp_path):
+        pkg = write_pkg(tmp_path, UNORDERED_PKG)
+        res = run_cli("schedule", str(pkg), "--no-report")
+        assert res.returncode == 1
+        assert "SCHED002" in res.stdout
+
+    def test_schedule_baseline_round_trip(self, tmp_path):
+        pkg = write_pkg(tmp_path, UNORDERED_PKG)
+        bl = tmp_path / "bl.json"
+        wrote = run_cli(
+            "schedule", str(pkg), "--no-report",
+            "--baseline", str(bl), "--write-baseline",
+        )
+        assert wrote.returncode == 0, wrote.stderr
+        gated = run_cli(
+            "schedule", str(pkg), "--no-report", "--baseline", str(bl)
+        )
+        assert gated.returncode == 0, gated.stdout + gated.stderr
+
+    def test_schedule_sarif_output(self, tmp_path):
+        pkg = write_pkg(tmp_path, SKEWED_PKG)
+        res = run_cli(
+            "schedule", str(pkg), "--no-report", "--format", "sarif"
+        )
+        doc = json.loads(res.stdout)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "simcheck-schedule"
+        assert any(
+            r["ruleId"] == "SCHED003" for r in doc["runs"][0]["results"]
+        )
+
+    def test_all_combined_gate(self, tmp_path):
+        reports = tmp_path / "reports"
+        res = run_cli("all", str(SRC_REPRO), "--reports-dir", str(reports))
+        assert res.returncode == 0, res.stdout + res.stderr
+        for name in (
+            "kernel-report.json", "purity-report.json",
+            "schedule-report.json", "simcheck.sarif",
+        ):
+            assert (reports / name).is_file(), name
+        sarif = json.loads((reports / "simcheck.sarif").read_text())
+        names = [r["tool"]["driver"]["name"] for r in sarif["runs"]]
+        assert names == [
+            "simcheck-lint", "simcheck-flow", "simcheck-kernel",
+            "simcheck-purity", "simcheck-schedule",
+        ]
